@@ -1,0 +1,100 @@
+// Command expfinder-server serves the ExpFinder HTTP API — the library's
+// stand-in for the demo's desktop GUI. It optionally preloads the paper's
+// Fig. 1 dataset and any graphs from a store directory.
+//
+// Usage:
+//
+//	expfinder-server [-addr :8080] [-store DIR] [-demo]
+//
+// API overview:
+//
+//	GET    /api/graphs                      list graphs
+//	POST   /api/graphs/{name}               upload {"graph": ...} or {"generator": {...}}
+//	GET    /api/graphs/{name}               download graph JSON
+//	DELETE /api/graphs/{name}               remove graph
+//	GET    /api/graphs/{name}/stats         statistics
+//	GET    /api/graphs/{name}/dot           Graphviz export (?drilldown=1)
+//	POST   /api/graphs/{name}/query         {"dsl": "...", "k": 5, "semantics": "bounded|dual"} (?dot=1)
+//	POST   /api/graphs/{name}/register      register query for incremental maintenance
+//	POST   /api/graphs/{name}/updates       {"ops": [{"op":"insert","from":1,"to":2}]}
+//	POST   /api/graphs/{name}/nodes         {"label": "SA", "attrs": {...}}
+//	DELETE /api/graphs/{name}/nodes/{id}    remove node (+ incident edges)
+//	POST   /api/graphs/{name}/nodes/{id}/attrs   {"experience": {"kind":"int","i":9}}
+//	POST   /api/graphs/{name}/compress      {"scheme": "bisimulation", "view": ["experience"]}
+//	DELETE /api/graphs/{name}/compress      drop compression
+//	GET    /api/cache/stats                 result-cache counters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"expfinder"
+	"expfinder/internal/dataset"
+	"expfinder/internal/engine"
+	"expfinder/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	storeDir := flag.String("store", "", "preload graphs from this store directory")
+	demo := flag.Bool("demo", true, "preload the paper's Fig. 1 dataset as graph \"paper\"")
+	cacheSize := flag.Int("cache", 256, "result cache capacity")
+	flag.Parse()
+
+	eng := engine.New(engine.Options{CacheSize: *cacheSize})
+
+	if *demo {
+		g, _ := dataset.PaperGraph()
+		if err := eng.AddGraph("paper", g); err != nil {
+			log.Fatalf("preload demo graph: %v", err)
+		}
+		log.Printf("loaded demo graph %q (%d nodes, %d edges)", "paper", g.NumNodes(), g.NumEdges())
+	}
+	if *storeDir != "" {
+		store, err := expfinder.OpenStore(*storeDir)
+		if err != nil {
+			log.Fatalf("open store: %v", err)
+		}
+		names, err := store.ListGraphs()
+		if err != nil {
+			log.Fatalf("list store: %v", err)
+		}
+		for _, name := range names {
+			g, err := store.LoadGraph(name)
+			if err != nil {
+				log.Printf("skip %q: %v", name, err)
+				continue
+			}
+			if err := eng.AddGraph(name, g); err != nil {
+				log.Printf("skip %q: %v", name, err)
+				continue
+			}
+			log.Printf("loaded %q (%d nodes, %d edges)", name, g.NumNodes(), g.NumEdges())
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logging(server.New(eng)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("expfinder-server listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// logging is a minimal request logger.
+func logging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%s)", r.Method, r.URL.Path, time.Since(start))
+	})
+}

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errCh := make(chan error, 1)
+	go func() { errCh <- fn() }()
+	runErr := <-errCh
+	w.Close()
+	os.Stdout = old
+	var buf strings.Builder
+	tmp := make([]byte, 4096)
+	for {
+		n, rerr := r.Read(tmp)
+		buf.Write(tmp[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	return buf.String(), runErr
+}
+
+func TestDemoCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"demo"}) })
+	if err != nil {
+		t.Fatalf("demo: %v", err)
+	}
+	for _, want := range []string{
+		"SA -> Bob, Walt",
+		"Bob   rank 1.8000",
+		"Walt  rank 2.3333",
+		"+ (SD, Fred)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("demo output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateQueryPipeline(t *testing.T) {
+	store := t.TempDir()
+	// Generate a small graph into the store.
+	out, err := capture(t, func() error {
+		return run([]string{"-store", store, "generate",
+			"-name", "g1", "-kind", "collab", "-nodes", "500", "-degree", "4", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatalf("generate: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "500 nodes") {
+		t.Errorf("generate output: %s", out)
+	}
+
+	// List shows it.
+	out, err = capture(t, func() error { return run([]string{"-store", store, "list"}) })
+	if err != nil || !strings.Contains(out, "g1") {
+		t.Errorf("list: err=%v out=%s", err, out)
+	}
+
+	// Stats print label histogram.
+	out, err = capture(t, func() error {
+		return run([]string{"-store", store, "stats", "-graph", "g1"})
+	})
+	if err != nil || !strings.Contains(out, "nodes: 500") {
+		t.Errorf("stats: err=%v out=%s", err, out)
+	}
+
+	// Query with a DSL file, exporting DOT.
+	qFile := filepath.Join(t.TempDir(), "q.dsl")
+	dsl := "node SA [label = \"SA\", experience >= 5] output\nnode SD [label = \"SD\"]\nedge SA -> SD bound 2\n"
+	if err := os.WriteFile(qFile, []byte(dsl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dotFile := filepath.Join(t.TempDir(), "out.dot")
+	out, err = capture(t, func() error {
+		return run([]string{"-store", store, "query",
+			"-graph", "g1", "-q", qFile, "-k", "3", "-dot", dotFile})
+	})
+	if err != nil {
+		t.Fatalf("query: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "plan: bounded-simulation") {
+		t.Errorf("query output missing plan: %s", out)
+	}
+	dot, err := os.ReadFile(dotFile)
+	if err != nil || !strings.Contains(string(dot), "digraph Result") {
+		t.Errorf("dot export missing: err=%v", err)
+	}
+
+	// Alternative ranking metrics run end-to-end; bad metric errors.
+	for _, metric := range []string{"closeness", "degree", "pagerank"} {
+		if _, err := capture(t, func() error {
+			return run([]string{"-store", store, "query",
+				"-graph", "g1", "-q", qFile, "-k", "2", "-metric", metric})
+		}); err != nil {
+			t.Errorf("metric %s: %v", metric, err)
+		}
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"-store", store, "query",
+			"-graph", "g1", "-q", qFile, "-metric", "astrology"})
+	}); err == nil {
+		t.Error("unknown metric accepted")
+	}
+
+	// Update then re-query still works.
+	out, err = capture(t, func() error {
+		return run([]string{"-store", store, "update",
+			"-graph", "g1", "-op", "delete", "-from", "0", "-to", "1"})
+	})
+	if err != nil {
+		// Edge (0,1) may not exist for this seed; insert instead.
+		out, err = capture(t, func() error {
+			return run([]string{"-store", store, "update",
+				"-graph", "g1", "-op", "insert", "-from", "0", "-to", "1"})
+		})
+		if err != nil {
+			t.Fatalf("update: %v\n%s", err, out)
+		}
+	}
+
+	// Compress reports a ratio.
+	out, err = capture(t, func() error {
+		return run([]string{"-store", store, "compress",
+			"-graph", "g1", "-view", "experience"})
+	})
+	if err != nil || !strings.Contains(out, "reduction:") {
+		t.Errorf("compress: err=%v out=%s", err, out)
+	}
+
+	// Convert to JSON and reload.
+	if _, err = capture(t, func() error {
+		return run([]string{"-store", store, "convert", "-graph", "g1", "-format", "json"})
+	}); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+
+	// DOT export of the data graph.
+	out, err = capture(t, func() error {
+		return run([]string{"-store", store, "dot", "-graph", "g1", "-max", "10"})
+	})
+	if err != nil || !strings.Contains(out, "digraph G") {
+		t.Errorf("dot: err=%v", err)
+	}
+}
+
+func TestImportCommand(t *testing.T) {
+	store := t.TempDir()
+	dir := t.TempDir()
+	edges := filepath.Join(dir, "edges.txt")
+	nodes := filepath.Join(dir, "nodes.csv")
+	if err := os.WriteFile(edges, []byte("# comment\n1 2\n1 3\n2 4\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(nodes, []byte("id,label,experience\n1,SA,7\n2,SD,3\n3,SD,4\n4,ST,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"-store", store, "import",
+			"-name", "snap", "-edges", edges, "-nodes", nodes})
+	})
+	if err != nil {
+		t.Fatalf("import: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "4 nodes, 3 edges") {
+		t.Errorf("import output: %s", out)
+	}
+	// The imported graph is immediately queryable.
+	qFile := filepath.Join(dir, "q.dsl")
+	if err := os.WriteFile(qFile,
+		[]byte("node SA [label = \"SA\"] output\nnode SD [label = \"SD\"]\nedge SA -> SD bound 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = capture(t, func() error {
+		return run([]string{"-store", store, "query", "-graph", "snap", "-q", qFile, "-k", "1"})
+	})
+	if err != nil || !strings.Contains(out, "top-1") {
+		t.Errorf("query imported: err=%v out=%s", err, out)
+	}
+	// Strict mode rejects the duplicate edge.
+	if _, err := capture(t, func() error {
+		return run([]string{"-store", store, "import",
+			"-name", "snap2", "-edges", edges, "-strict"})
+	}); err == nil {
+		t.Error("strict import accepted duplicate edge")
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	store := t.TempDir()
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"-store", store, "stats", "-graph", "missing"},
+		{"-store", store, "generate", "-kind", "bogus", "-name", "x"},
+		{"-store", store, "generate"}, // missing -name
+		{"-store", store, "query", "-graph", "x"},
+		{"-store", store, "update", "-graph", "x"},
+		{"-store", store, "compress", "-graph", "x", "-scheme", "zip"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

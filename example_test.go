@@ -1,0 +1,145 @@
+package expfinder_test
+
+import (
+	"fmt"
+
+	"expfinder"
+)
+
+// buildExampleOrg builds the small org used by the examples below.
+func buildExampleOrg() (*expfinder.Graph, map[string]expfinder.NodeID) {
+	g := expfinder.NewGraph(6)
+	ids := map[string]expfinder.NodeID{}
+	add := func(name, field string, years int64) {
+		ids[name] = g.AddNode(field, expfinder.Attrs{
+			"name":       expfinder.String(name),
+			"experience": expfinder.Int(years),
+		})
+	}
+	add("Ada", "SA", 9)
+	add("Raj", "SD", 4)
+	add("Ivy", "SD", 3)
+	add("Kim", "ST", 3)
+	add("Mia", "BA", 5)
+	for _, e := range [][2]string{
+		{"Ada", "Raj"}, {"Ada", "Ivy"}, {"Raj", "Kim"}, {"Ivy", "Kim"}, {"Ada", "Mia"},
+	} {
+		if err := g.AddEdge(ids[e[0]], ids[e[1]]); err != nil {
+			panic(err)
+		}
+	}
+	return g, ids
+}
+
+// The simplest possible use: parse a query, match, rank.
+func Example() {
+	g, _ := buildExampleOrg()
+	q, err := expfinder.ParseQuery(`
+node SA [label = "SA", experience >= 5] output
+node SD [label = "SD", experience >= 2]
+edge SA -> SD bound 2
+`)
+	if err != nil {
+		panic(err)
+	}
+	rel := expfinder.Match(g, q)
+	for _, r := range expfinder.TopK(g, q, rel, 1) {
+		name, _ := g.Attr(r.Node, "name")
+		fmt.Printf("best architect: %s (rank %.2f)\n", name.Str(), r.Rank)
+	}
+	// Output: best architect: Ada (rank 1.00)
+}
+
+// ParseQuery understands bounds, the unbounded `*`, and rich predicates.
+func ExampleParseQuery() {
+	q, err := expfinder.ParseQuery(`
+# any senior person reachable from a tester, however far
+node Senior [experience >= 8] output
+node Tester [label = "ST"]
+edge Tester -> Senior bound *
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q.NumNodes(), "nodes,", q.NumEdges(), "edge")
+	// Output: 2 nodes, 1 edge
+}
+
+// The match relation reports every pattern position's matches, not just
+// the output node's.
+func ExampleMatch() {
+	g, _ := buildExampleOrg()
+	q, err := expfinder.ParseQuery(`
+node SA [label = "SA"] output
+node SD [label = "SD"]
+edge SA -> SD bound 1
+`)
+	if err != nil {
+		panic(err)
+	}
+	rel := expfinder.Match(g, q)
+	fmt.Println(rel.Format(q, g, "name"))
+	// Output:
+	// SA -> Ada
+	// SD -> Raj, Ivy
+}
+
+// The engine adds caching, registered queries and update maintenance.
+func ExampleEngine() {
+	g, ids := buildExampleOrg()
+	q, err := expfinder.ParseQuery(`
+node SA [label = "SA"] output
+node ST [label = "ST"]
+edge SA -> ST bound 2
+`)
+	if err != nil {
+		panic(err)
+	}
+	eng := expfinder.NewEngine(expfinder.EngineOptions{})
+	if err := eng.AddGraph("org", g); err != nil {
+		panic(err)
+	}
+	if err := eng.RegisterQuery("org", q); err != nil {
+		panic(err)
+	}
+	// Kim leaves Raj's project: Ada can still reach her through Ivy, so
+	// the match survives; the delta is empty.
+	deltas, err := eng.ApplyUpdates("org", []expfinder.Update{
+		expfinder.DeleteEdge(ids["Raj"], ids["Kim"]),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("changes:", len(deltas[0].Added)+len(deltas[0].Removed))
+	res, err := eng.Query("org", q, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("source:", res.Source)
+	// Output:
+	// changes: 0
+	// source: incremental
+}
+
+// Compression answers queries on a smaller quotient graph, exactly.
+func ExampleCompressGraphWithView() {
+	g, _ := buildExampleOrg()
+	q, err := expfinder.ParseQuery(`
+node SD [label = "SD"] output
+node ST [label = "ST"]
+edge SD -> ST bound 1
+`)
+	if err != nil {
+		panic(err)
+	}
+	// Raj and Ivy differ only on non-viewed attributes, so a label-only
+	// view merges them.
+	c := expfinder.CompressGraphWithView(g, expfinder.Bisimulation, expfinder.AttrView{})
+	direct := expfinder.Match(g, q)
+	viaQuotient := c.Decompress(expfinder.Match(c.Graph(), q))
+	fmt.Println("exact:", viaQuotient.Equal(direct))
+	fmt.Println("blocks:", c.Graph().NumNodes(), "of", g.NumNodes())
+	// Output:
+	// exact: true
+	// blocks: 4 of 5
+}

@@ -1,0 +1,69 @@
+// Quickstart: build a small collaboration network, express a hiring
+// requirement as a pattern query, and print the ranked experts.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"expfinder"
+)
+
+func main() {
+	// A ten-person engineering org. Node labels are fields; attributes
+	// carry the name and years of experience.
+	g := expfinder.NewGraph(10)
+	person := func(name, field string, years int64) expfinder.NodeID {
+		return g.AddNode(field, expfinder.Attrs{
+			"name":       expfinder.String(name),
+			"experience": expfinder.Int(years),
+		})
+	}
+	ada := person("Ada", "SA", 9)
+	sam := person("Sam", "SA", 6)
+	dev1 := person("Raj", "SD", 4)
+	dev2 := person("Ivy", "SD", 3)
+	dev3 := person("Tom", "SD", 1) // too junior to match
+	ana := person("Mia", "BA", 5)
+	tst := person("Kim", "ST", 3)
+
+	// Directed collaboration edges: who led whom on past projects.
+	collaborations := [][2]expfinder.NodeID{
+		{ada, dev1}, {ada, dev2}, {dev1, tst}, {dev2, tst},
+		{ada, ana}, {sam, dev3}, {dev3, tst}, {sam, ana},
+	}
+	for _, e := range collaborations {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The requirement: an architect (>= 5y) who has led a developer
+	// (>= 2y) within two hops, an analyst within two hops, and whose
+	// developers worked with a tester directly.
+	q, err := expfinder.ParseQuery(`
+node SA [label = "SA", experience >= 5] output
+node SD [label = "SD", experience >= 2]
+node BA [label = "BA"]
+node ST [label = "ST"]
+edge SA -> SD bound 2
+edge SA -> BA bound 2
+edge SD -> ST bound 1
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rel := expfinder.Match(g, q) // bounded graph simulation
+	fmt.Println("match relation M(Q,G):")
+	fmt.Println(rel.Format(q, g, "name"))
+
+	fmt.Println("\nranked architects (lower rank = tighter collaboration):")
+	for i, r := range expfinder.TopK(g, q, rel, 3) {
+		name, _ := g.Attr(r.Node, "name")
+		fmt.Printf("  %d. %-4s rank %.3f (connected to %d matched teammates)\n",
+			i+1, name.Str(), r.Rank, r.Connected)
+	}
+}

@@ -1,0 +1,236 @@
+// Package bsim implements bounded simulation, the pattern-matching
+// semantics of Fan et al. (PVLDB 2010) that ExpFinder is built on: a
+// pattern edge (u,u') with bound k is matched by any nonempty path of
+// length <= k in the data graph, and `*` edges by any nonempty path. The
+// result is the unique maximum match relation M(Q,G), computable in cubic
+// time — in contrast to NP-complete subgraph isomorphism.
+package bsim
+
+import (
+	"sync"
+
+	"expfinder/internal/graph"
+	"expfinder/internal/match"
+	"expfinder/internal/pattern"
+)
+
+// Compute returns the unique maximum bounded-simulation relation M(Q,G).
+//
+// The algorithm follows PVLDB 2010: start from predicate candidates, give
+// every candidate v of u one support counter per pattern out-edge (u,u')
+// counting the candidates of u' inside v's bounded out-ball, and propagate
+// removals with a worklist — when v' falls out of cand(u'), every candidate
+// in v's bounded *in*-ball loses one unit of support on the corresponding
+// edge. Worst case O(|Eq| * |V| * (|V|+|E|)).
+func Compute(g *graph.Graph, q *pattern.Pattern) *match.Relation {
+	s := newState(g, q, 1)
+	return s.relation()
+}
+
+// ComputeParallel is Compute with the support-counter initialization — the
+// dominant cost, one bounded BFS per (pattern edge, candidate) — fanned out
+// over the given number of workers. The removal propagation stays serial
+// (it is a tiny fraction of the work and inherently sequential). workers
+// <= 1 falls back to the serial path. Results are identical to Compute.
+func ComputeParallel(g *graph.Graph, q *pattern.Pattern, workers int) *match.Relation {
+	s := newState(g, q, workers)
+	return s.relation()
+}
+
+// removal is a (pattern node, data node) candidate pair pending removal.
+type removal struct {
+	u pattern.NodeIdx
+	v graph.NodeID
+}
+
+// state carries the candidate sets and per-edge support counters of a run.
+type state struct {
+	g     *graph.Graph
+	q     *pattern.Pattern
+	maxID int
+	cand  [][]bool  // [patternNode][nodeID]
+	count [][]int32 // [patternEdgeIdx][nodeID] remaining support
+}
+
+func newState(g *graph.Graph, q *pattern.Pattern, workers int) *state {
+	nq := q.NumNodes()
+	s := &state{
+		g:     g,
+		q:     q,
+		maxID: g.MaxID(),
+		cand:  make([][]bool, nq),
+		count: make([][]int32, len(q.Edges())),
+	}
+	for u := 0; u < nq; u++ {
+		s.cand[u] = make([]bool, s.maxID)
+		pred := q.Node(pattern.NodeIdx(u)).Pred
+		g.ForEachNode(func(n graph.Node) {
+			if pred.Eval(n) {
+				s.cand[u][n.ID] = true
+			}
+		})
+	}
+
+	var worklist []removal
+	remove := func(u pattern.NodeIdx, v graph.NodeID) {
+		if s.cand[u][v] {
+			s.cand[u][v] = false
+			worklist = append(worklist, removal{u, v})
+		}
+	}
+
+	// Initialize support counters with one bounded BFS per (edge, candidate).
+	// Zero-support candidates are only *recorded* here and removed after
+	// every counter is initialized: removing eagerly would leave later
+	// edges' counters unaware of the node, and the worklist would then
+	// decrement support the counter never included (double-decrement).
+	edges := q.Edges()
+	for ei := range edges {
+		s.count[ei] = make([]int32, s.maxID)
+	}
+	for _, p := range s.initCounts(workers) {
+		remove(p.u, p.v)
+	}
+
+	// Propagate removals through bounded in-balls.
+	for len(worklist) > 0 {
+		rm := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		for ei, e := range edges {
+			if e.To != rm.u {
+				continue
+			}
+			inBall := g.InBall(rm.v, e.Bound)
+			for p := range inBall.Dist {
+				if !s.cand[e.From][p] {
+					continue
+				}
+				s.count[ei][p]--
+				if s.count[ei][p] == 0 {
+					remove(e.From, p)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// initCounts fills the support counters, returning the zero-support
+// candidates. With workers > 1 the node range is split into contiguous
+// chunks processed concurrently; counter cells are per-(edge, node), so
+// writes never collide across chunks.
+func (s *state) initCounts(workers int) []removal {
+	edges := s.q.Edges()
+	countChunk := func(lo, hi int) []removal {
+		var pending []removal
+		for ei, e := range edges {
+			for vi := lo; vi < hi; vi++ {
+				v := graph.NodeID(vi)
+				if !s.cand[e.From][v] {
+					continue
+				}
+				ball := s.g.OutBall(v, e.Bound)
+				var c int32
+				for w := range ball.Dist {
+					if s.cand[e.To][w] {
+						c++
+					}
+				}
+				s.count[ei][v] = c
+				if c == 0 {
+					pending = append(pending, removal{e.From, v})
+				}
+			}
+		}
+		return pending
+	}
+	if workers <= 1 || s.maxID < 256 {
+		return countChunk(0, s.maxID)
+	}
+	chunk := (s.maxID + workers - 1) / workers
+	results := make([][]removal, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > s.maxID {
+			hi = s.maxID
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			results[w] = countChunk(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var pending []removal
+	for _, r := range results {
+		pending = append(pending, r...)
+	}
+	return pending
+}
+
+func (s *state) relation() *match.Relation {
+	r := match.NewRelation(s.q.NumNodes())
+	for u := range s.cand {
+		for vi, ok := range s.cand[u] {
+			if ok {
+				r.Add(pattern.NodeIdx(u), graph.NodeID(vi))
+			}
+		}
+	}
+	return r.Normalize()
+}
+
+// ComputeNaive evaluates the defining fixpoint directly, re-deriving every
+// bounded reachability test from scratch each round. Exponentially cleaner
+// to audit and brutally slow; it exists as the oracle for property tests.
+func ComputeNaive(g *graph.Graph, q *pattern.Pattern) *match.Relation {
+	nq := q.NumNodes()
+	maxID := g.MaxID()
+	cand := make([][]bool, nq)
+	for u := 0; u < nq; u++ {
+		cand[u] = make([]bool, maxID)
+		pred := q.Node(pattern.NodeIdx(u)).Pred
+		g.ForEachNode(func(n graph.Node) {
+			if pred.Eval(n) {
+				cand[u][n.ID] = true
+			}
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range q.Edges() {
+			for vi := 0; vi < maxID; vi++ {
+				v := graph.NodeID(vi)
+				if !cand[e.From][v] {
+					continue
+				}
+				ball := g.OutBall(v, e.Bound)
+				ok := false
+				for w := range ball.Dist {
+					if cand[e.To][w] {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					cand[e.From][v] = false
+					changed = true
+				}
+			}
+		}
+	}
+	r := match.NewRelation(nq)
+	for u := 0; u < nq; u++ {
+		for vi := 0; vi < maxID; vi++ {
+			if cand[u][vi] {
+				r.Add(pattern.NodeIdx(u), graph.NodeID(vi))
+			}
+		}
+	}
+	return r.Normalize()
+}

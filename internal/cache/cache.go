@@ -1,0 +1,118 @@
+// Package cache provides the query-result cache of ExpFinder's query
+// engine: results keyed by (graph identity, graph version, pattern hash)
+// with LRU eviction. A cached entry is valid only while the graph version
+// matches, so updates applied outside the incremental machinery silently
+// invalidate stale results.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"expfinder/internal/match"
+)
+
+// Key identifies a cached result.
+type Key struct {
+	GraphName    string
+	GraphVersion uint64
+	PatternHash  string
+}
+
+// Stats reports cache effectiveness.
+type Stats struct {
+	Hits, Misses, Evictions int
+	Entries                 int
+}
+
+// Cache is a fixed-capacity LRU of query results, safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[Key]*list.Element
+	hits     int
+	misses   int
+	evicted  int
+}
+
+type entry struct {
+	key Key
+	rel *match.Relation
+}
+
+// New returns a cache holding up to capacity results (minimum 1).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    map[Key]*list.Element{},
+	}
+}
+
+// Get returns a clone of the cached relation for key, if present. Clones
+// keep cached entries immutable even if callers mutate the result.
+func (c *Cache) Get(key Key) (*match.Relation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).rel.Clone(), true
+}
+
+// Put stores a clone of the relation under key, evicting the least
+// recently used entry if over capacity.
+func (c *Cache) Put(key Key, rel *match.Relation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).rel = rel.Clone()
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&entry{key: key, rel: rel.Clone()})
+	c.items[key] = el
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry).key)
+		c.evicted++
+	}
+}
+
+// InvalidateGraph drops every entry for the named graph (any version),
+// e.g. after out-of-band mutations.
+func (c *Cache) InvalidateGraph(graphName string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*entry).key.GraphName == graphName {
+			c.ll.Remove(el)
+			delete(c.items, el.Value.(*entry).key)
+		}
+		el = next
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evicted, Entries: c.ll.Len()}
+}

@@ -1,0 +1,144 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"expfinder/internal/graph"
+	"expfinder/internal/match"
+)
+
+func rel(pairs ...int) *match.Relation {
+	r := match.NewRelation(1)
+	for _, p := range pairs {
+		r.Add(0, graph.NodeID(p))
+	}
+	return r
+}
+
+func TestGetPut(t *testing.T) {
+	c := New(4)
+	k := Key{GraphName: "g", GraphVersion: 1, PatternHash: "h"}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put(k, rel(1, 2))
+	got, ok := c.Get(k)
+	if !ok || got.Size() != 2 {
+		t.Fatalf("Get = (%v, %v)", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestVersionedKeysDistinct(t *testing.T) {
+	c := New(4)
+	k1 := Key{GraphName: "g", GraphVersion: 1, PatternHash: "h"}
+	k2 := Key{GraphName: "g", GraphVersion: 2, PatternHash: "h"}
+	c.Put(k1, rel(1))
+	if _, ok := c.Get(k2); ok {
+		t.Error("different version hit the same entry")
+	}
+}
+
+func TestClonesProtectEntries(t *testing.T) {
+	c := New(2)
+	k := Key{GraphName: "g", GraphVersion: 1, PatternHash: "h"}
+	original := rel(1)
+	c.Put(k, original)
+	original.Add(0, 99) // mutate after insert
+	got, _ := c.Get(k)
+	if got.Has(0, 99) {
+		t.Error("cache stored a live reference on Put")
+	}
+	got.Add(0, 50) // mutate the returned copy
+	again, _ := c.Get(k)
+	if again.Has(0, 50) {
+		t.Error("cache returned a live reference on Get")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	k := func(i int) Key { return Key{GraphName: "g", GraphVersion: uint64(i), PatternHash: "h"} }
+	c.Put(k(1), rel(1))
+	c.Put(k(2), rel(2))
+	// Touch k1 so k2 is the LRU.
+	if _, ok := c.Get(k(1)); !ok {
+		t.Fatal("k1 missing")
+	}
+	c.Put(k(3), rel(3))
+	if _, ok := c.Get(k(2)); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(k(1)); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestPutSameKeyReplaces(t *testing.T) {
+	c := New(2)
+	k := Key{GraphName: "g", GraphVersion: 1, PatternHash: "h"}
+	c.Put(k, rel(1))
+	c.Put(k, rel(1, 2, 3))
+	got, _ := c.Get(k)
+	if got.Size() != 3 {
+		t.Errorf("size after replace = %d, want 3", got.Size())
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestInvalidateGraph(t *testing.T) {
+	c := New(8)
+	for i := 0; i < 3; i++ {
+		c.Put(Key{GraphName: "a", GraphVersion: uint64(i), PatternHash: "h"}, rel(i))
+		c.Put(Key{GraphName: "b", GraphVersion: uint64(i), PatternHash: "h"}, rel(i))
+	}
+	c.InvalidateGraph("a")
+	if c.Len() != 3 {
+		t.Errorf("Len after invalidate = %d, want 3", c.Len())
+	}
+	if _, ok := c.Get(Key{GraphName: "b", GraphVersion: 1, PatternHash: "h"}); !ok {
+		t.Error("unrelated graph entries were dropped")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key{GraphName: fmt.Sprintf("g%d", i%4), GraphVersion: uint64(i % 8), PatternHash: "h"}
+				if i%3 == 0 {
+					c.Put(k, rel(i))
+				} else {
+					c.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Errorf("cache exceeded capacity: %d", c.Len())
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	c := New(0)
+	k1 := Key{GraphName: "g", GraphVersion: 1, PatternHash: "h"}
+	c.Put(k1, rel(1))
+	if c.Len() != 1 {
+		t.Errorf("capacity floor broken: Len = %d", c.Len())
+	}
+}

@@ -1,0 +1,418 @@
+// Package compress implements query-preserving graph compression, the
+// demo's Graph Compression Module (after Fan et al., SIGMOD 2012): build a
+// smaller quotient graph Gc such that (bounded) simulation queries can be
+// answered on Gc directly and M(Q,G) recovered from M(Q,Gc) by expanding
+// equivalence classes in linear time.
+//
+// Two equivalence schemes are provided:
+//
+//   - Bisimulation: the coarsest partition in which all nodes of a block
+//     share an attribute signature and have out-edges into exactly the same
+//     set of blocks. Every member of a block can replay any quotient path
+//     at equal length, so the quotient is exact for bounded simulation
+//     (and, a fortiori, plain simulation). This is the engine's default and
+//     the only scheme with incremental maintenance.
+//
+//   - Simulation equivalence: merge u and v when each simulates the other
+//     (the demo's Fred/Pat example). Coarser, hence better compression, but
+//     exact only for plain (bound-1) simulation queries.
+package compress
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"expfinder/internal/graph"
+	"expfinder/internal/match"
+	"expfinder/internal/pattern"
+)
+
+// Scheme selects the equivalence relation used to build the quotient.
+type Scheme uint8
+
+const (
+	// Bisimulation preserves both simulation and bounded simulation.
+	Bisimulation Scheme = iota
+	// SimulationEquivalence preserves plain simulation only; it typically
+	// compresses more.
+	SimulationEquivalence
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case Bisimulation:
+		return "bisimulation"
+	case SimulationEquivalence:
+		return "simulation-equivalence"
+	default:
+		return fmt.Sprintf("scheme(%d)", uint8(s))
+	}
+}
+
+// Errors returned by compressed-graph operations.
+var (
+	ErrStale         = errors.New("compress: source graph changed outside Maintain")
+	ErrNoMaintenance = errors.New("compress: scheme does not support incremental maintenance")
+)
+
+// View restricts which node attributes the equivalence may distinguish.
+// Queries whose predicates test only viewed attributes can be answered on
+// the quotient exactly; the engine checks compatibility before routing. A
+// nil View distinguishes all attributes and is compatible with every query.
+// The node label is always distinguished.
+type View []string
+
+// Has reports whether attr is distinguished by the view.
+func (v View) Has(attr string) bool {
+	if v == nil {
+		return true
+	}
+	if attr == pattern.LabelAttr {
+		return true
+	}
+	for _, a := range v {
+		if a == attr {
+			return true
+		}
+	}
+	return false
+}
+
+// Compatible reports whether every predicate in q tests only viewed
+// attributes, i.e. whether the quotient built under this view answers q
+// exactly.
+func (v View) Compatible(q *pattern.Pattern) bool {
+	if v == nil {
+		return true
+	}
+	for i := 0; i < q.NumNodes(); i++ {
+		for _, c := range q.Node(pattern.NodeIdx(i)).Pred.Conds {
+			if !v.Has(c.Attr) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Compressed is a quotient graph with the bookkeeping needed to evaluate
+// queries on it and expand results back to the original graph.
+type Compressed struct {
+	src     *graph.Graph
+	gc      *graph.Graph
+	scheme  Scheme
+	view    View
+	version uint64
+
+	blockOf []graph.NodeID                  // src node -> gc node (Invalid for tombstones)
+	members map[graph.NodeID][]graph.NodeID // gc node -> member src nodes
+	edgeCnt map[[2]graph.NodeID]int         // gc edge -> number of underlying src edges
+}
+
+// Graph returns the quotient graph. Callers must treat it as read-only:
+// queries evaluate on it, mutations go through Maintain.
+func (c *Compressed) Graph() *graph.Graph { return c.gc }
+
+// Scheme returns the equivalence scheme the quotient was built with.
+func (c *Compressed) Scheme() Scheme { return c.scheme }
+
+// BlockOf maps an original node to its quotient node.
+func (c *Compressed) BlockOf(v graph.NodeID) graph.NodeID {
+	if int(v) >= len(c.blockOf) {
+		return graph.Invalid
+	}
+	return c.blockOf[v]
+}
+
+// Members returns the original nodes merged into quotient node b.
+func (c *Compressed) Members(b graph.NodeID) []graph.NodeID { return c.members[b] }
+
+// Ratio returns the size reduction 1 - (|Vc|+|Ec|)/(|V|+|E|); e.g. 0.57
+// means the compressed graph is 57% smaller.
+func (c *Compressed) Ratio() float64 {
+	orig := c.src.NumNodes() + c.src.NumEdges()
+	if orig == 0 {
+		return 0
+	}
+	comp := c.gc.NumNodes() + c.gc.NumEdges()
+	return 1 - float64(comp)/float64(orig)
+}
+
+// Decompress expands a match relation computed on the quotient graph into
+// the relation on the original graph: every member of a matched block
+// matches. This is the paper's linear post-processing step.
+func (c *Compressed) Decompress(rc *match.Relation) *match.Relation {
+	r := match.NewRelation(rc.NumPatternNodes())
+	for u := 0; u < rc.NumPatternNodes(); u++ {
+		for _, b := range rc.MatchesOf(pattern.NodeIdx(u)) {
+			for _, v := range c.members[b] {
+				r.Add(pattern.NodeIdx(u), v)
+			}
+		}
+	}
+	return r.Normalize()
+}
+
+// sigKey is a node's static signature under a view: nodes can only share a
+// block if their label and every *viewed* attribute coincide, because
+// search conditions may test any viewed attribute.
+func sigKey(n graph.Node, view View) string {
+	if view == nil {
+		return n.Label + "\x00" + n.Attrs.Canon()
+	}
+	viewed := graph.Attrs{}
+	for _, a := range view {
+		if val, ok := n.Attrs[a]; ok {
+			viewed[a] = val
+		}
+	}
+	return n.Label + "\x00" + viewed.Canon()
+}
+
+// Compress builds the quotient of g under the given scheme, distinguishing
+// all node attributes.
+func Compress(g *graph.Graph, scheme Scheme) *Compressed {
+	return CompressWithView(g, scheme, nil)
+}
+
+// CompressWithView builds the quotient of g distinguishing only the viewed
+// attributes. Queries that test attributes outside the view must not be
+// evaluated on the quotient (View.Compatible checks this).
+func CompressWithView(g *graph.Graph, scheme Scheme, view View) *Compressed {
+	switch scheme {
+	case Bisimulation:
+		return compressBisim(g, view)
+	case SimulationEquivalence:
+		return compressSimEq(g, view)
+	default:
+		panic(fmt.Sprintf("compress: unknown scheme %d", scheme))
+	}
+}
+
+// View returns the attribute view the quotient was built under.
+func (c *Compressed) AttrView() View { return c.view }
+
+// buildQuotient materializes the quotient structures from a stable
+// partition given as per-node block indices (dense, -1 for tombstones).
+func buildQuotient(g *graph.Graph, part []int, nBlocks int, scheme Scheme, view View) *Compressed {
+	c := &Compressed{
+		src:     g,
+		scheme:  scheme,
+		view:    view,
+		version: g.Version(),
+		blockOf: make([]graph.NodeID, g.MaxID()),
+		members: map[graph.NodeID][]graph.NodeID{},
+		edgeCnt: map[[2]graph.NodeID]int{},
+	}
+	c.gc = graph.New(nBlocks)
+	// Create one quotient node per block, carrying the shared label and
+	// attributes of its members.
+	rep := make([]graph.NodeID, nBlocks)
+	for i := range rep {
+		rep[i] = graph.Invalid
+	}
+	g.ForEachNode(func(n graph.Node) {
+		if rep[part[n.ID]] == graph.Invalid {
+			rep[part[n.ID]] = n.ID
+		}
+	})
+	gcID := make([]graph.NodeID, nBlocks)
+	for b := 0; b < nBlocks; b++ {
+		n := g.MustNode(rep[b])
+		attrs := n.Attrs.Clone()
+		if view != nil {
+			// Members may disagree on non-viewed attributes; the quotient
+			// node carries only what the view guarantees to be shared.
+			attrs = graph.Attrs{}
+			for _, a := range view {
+				if val, ok := n.Attrs[a]; ok {
+					attrs[a] = val
+				}
+			}
+		}
+		gcID[b] = c.gc.AddNode(n.Label, attrs)
+	}
+	for i := range c.blockOf {
+		c.blockOf[i] = graph.Invalid
+	}
+	g.ForEachNode(func(n graph.Node) {
+		b := gcID[part[n.ID]]
+		c.blockOf[n.ID] = b
+		c.members[b] = append(c.members[b], n.ID)
+	})
+	g.ForEachEdge(func(e graph.Edge) {
+		key := [2]graph.NodeID{c.blockOf[e.From], c.blockOf[e.To]}
+		if c.edgeCnt[key] == 0 {
+			if err := c.gc.AddEdge(key[0], key[1]); err != nil {
+				panic(err) // counts guarantee novelty
+			}
+		}
+		c.edgeCnt[key]++
+	})
+	return c
+}
+
+// compressBisim computes the coarsest forward-bisimulation partition by
+// iterated signature refinement: start from attribute-signature blocks and
+// split any block whose members disagree on the set of successor blocks,
+// until stable.
+func compressBisim(g *graph.Graph, view View) *Compressed {
+	maxID := g.MaxID()
+	part := make([]int, maxID)
+	for i := range part {
+		part[i] = -1
+	}
+	bySig := map[string]int{}
+	nBlocks := 0
+	g.ForEachNode(func(n graph.Node) {
+		k := sigKey(n, view)
+		b, ok := bySig[k]
+		if !ok {
+			b = nBlocks
+			nBlocks++
+			bySig[k] = b
+		}
+		part[n.ID] = b
+	})
+
+	for {
+		// Re-partition by (current block, successor-block signature); the
+		// block count grows monotonically and the loop stops at a fixpoint.
+		newPart := make([]int, maxID)
+		for i := range newPart {
+			newPart[i] = -1
+		}
+		bySplit := map[string]int{}
+		next := 0
+		g.ForEachNode(func(n graph.Node) {
+			key := fmt.Sprintf("%d|%s", part[n.ID], succSig(g, part, n.ID))
+			b, ok := bySplit[key]
+			if !ok {
+				b = next
+				next++
+				bySplit[key] = b
+			}
+			newPart[n.ID] = b
+		})
+		if next == nBlocks {
+			break
+		}
+		part, nBlocks = newPart, next
+	}
+	return buildQuotient(g, part, nBlocks, Bisimulation, view)
+}
+
+// succSig renders the sorted set of successor blocks of node v.
+func succSig(g *graph.Graph, part []int, v graph.NodeID) string {
+	succ := g.Out(v)
+	if len(succ) == 0 {
+		return ""
+	}
+	blocks := make([]int, 0, len(succ))
+	for _, w := range succ {
+		blocks = append(blocks, part[w])
+	}
+	sort.Ints(blocks)
+	// Deduplicate in place.
+	out := blocks[:1]
+	for _, b := range blocks[1:] {
+		if b != out[len(out)-1] {
+			out = append(out, b)
+		}
+	}
+	return fmt.Sprint(out)
+}
+
+// compressSimEq computes simulation-equivalence classes: x ~ y iff x and y
+// carry the same attribute signature and each simulates the other. The
+// maximum self-simulation preorder is computed by naive refinement over
+// same-signature pairs; quotient edges are existential.
+func compressSimEq(g *graph.Graph, view View) *Compressed {
+	maxID := g.MaxID()
+	// Group nodes by static signature; the preorder only relates nodes
+	// within a group.
+	groupOf := make([]int, maxID)
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	bySig := map[string]int{}
+	var groups [][]graph.NodeID
+	g.ForEachNode(func(n graph.Node) {
+		k := sigKey(n, view)
+		gi, ok := bySig[k]
+		if !ok {
+			gi = len(groups)
+			bySig[k] = gi
+			groups = append(groups, nil)
+		}
+		groupOf[n.ID] = gi
+		groups[gi] = append(groups[gi], n.ID)
+	})
+
+	// simBy[x] = set of y (same group) currently believed to simulate x.
+	simBy := make([]*graph.Bitset, maxID)
+	for _, grp := range groups {
+		for _, x := range grp {
+			s := graph.NewBitset(maxID)
+			for _, y := range grp {
+				s.Set(y)
+			}
+			simBy[x] = s
+		}
+	}
+
+	// Refine: y stops simulating x when some successor x' of x has no
+	// successor y' of y with y' simulating x'.
+	for changed := true; changed; {
+		changed = false
+		g.ForEachNode(func(nx graph.Node) {
+			x := nx.ID
+			var drop []graph.NodeID
+			simBy[x].ForEach(func(y graph.NodeID) {
+				if y == x {
+					return
+				}
+				for _, xs := range g.Out(x) {
+					ok := false
+					for _, ys := range g.Out(y) {
+						if simBy[xs] != nil && simBy[xs].Has(ys) {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						drop = append(drop, y)
+						return
+					}
+				}
+			})
+			for _, y := range drop {
+				simBy[x].Clear(y)
+				changed = true
+			}
+		})
+	}
+
+	// Equivalence classes: x ~ y iff mutual simulation.
+	part := make([]int, maxID)
+	for i := range part {
+		part[i] = -1
+	}
+	nBlocks := 0
+	g.ForEachNode(func(n graph.Node) {
+		x := n.ID
+		if part[x] != -1 {
+			return
+		}
+		part[x] = nBlocks
+		simBy[x].ForEach(func(y graph.NodeID) {
+			if y != x && part[y] == -1 && simBy[y].Has(x) {
+				part[y] = nBlocks
+			}
+		})
+		nBlocks++
+	})
+	return buildQuotient(g, part, nBlocks, SimulationEquivalence, view)
+}

@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"testing"
+
+	"expfinder/internal/graph"
+)
+
+func TestPaperGraphShape(t *testing.T) {
+	g, p := PaperGraph()
+	if g.NumNodes() != 10 {
+		t.Errorf("nodes = %d, want 10", g.NumNodes())
+	}
+	if g.NumEdges() != 14 {
+		t.Errorf("edges = %d, want 14", g.NumEdges())
+	}
+	// Spot-check attributes against the figure.
+	for _, tc := range []struct {
+		id    graph.NodeID
+		field string
+		years int64
+	}{
+		{p.Bob, "SA", 7}, {p.Walt, "SA", 5}, {p.Bill, "GD", 2},
+		{p.Jean, "BA", 3}, {p.Dan, "SD", 3}, {p.Mat, "SD", 4},
+		{p.Pat, "SD", 3}, {p.Fred, "SD", 2}, {p.Eva, "ST", 2},
+		{p.Tess, "ST", 1},
+	} {
+		n := g.MustNode(tc.id)
+		if n.Label != tc.field {
+			t.Errorf("node %d field = %s, want %s", tc.id, n.Label, tc.field)
+		}
+		if y := n.Attrs["experience"].IntVal(); y != tc.years {
+			t.Errorf("node %d experience = %d, want %d", tc.id, y, tc.years)
+		}
+	}
+}
+
+func TestPaperGraphDistancesMatchReconstruction(t *testing.T) {
+	// The distances that Example 2's ranks depend on (DESIGN.md §3).
+	g, p := PaperGraph()
+	for _, tc := range []struct {
+		from, to graph.NodeID
+		dist     int
+	}{
+		{p.Bob, p.Dan, 1}, {p.Bob, p.Mat, 1}, {p.Bob, p.Pat, 2},
+		{p.Bob, p.Jean, 3}, {p.Bob, p.Eva, 2},
+		{p.Walt, p.Pat, 2}, {p.Walt, p.Jean, 2}, {p.Walt, p.Eva, 3},
+		{p.Dan, p.Eva, 1}, {p.Mat, p.Eva, 2}, {p.Pat, p.Eva, 1},
+		{p.Eva, p.Pat, 1},
+	} {
+		if d := g.Distance(tc.from, tc.to); d != tc.dist {
+			t.Errorf("dist(%d,%d) = %d, want %d", tc.from, tc.to, d, tc.dist)
+		}
+	}
+	// Walt must not reach Dan or Mat within bound 2, and Fred must not
+	// reach Eva at all before e1.
+	if d := g.Distance(p.Walt, p.Dan); d != graph.Unreachable && d <= 2 {
+		t.Errorf("Walt reaches Dan in %d", d)
+	}
+	if d := g.Distance(p.Fred, p.Eva); d != graph.Unreachable {
+		t.Errorf("Fred reaches Eva in %d before e1", d)
+	}
+}
+
+func TestPaperQueryParses(t *testing.T) {
+	q := PaperQuery()
+	if q.NumNodes() != 4 || q.NumEdges() != 4 {
+		t.Errorf("query shape = (%d,%d), want (4,4)", q.NumNodes(), q.NumEdges())
+	}
+	sa, ok := q.Lookup("SA")
+	if !ok || q.Output() != sa {
+		t.Error("SA must be the output node")
+	}
+	if q.IsPlainSimulation() {
+		t.Error("paper query must be a bounded query")
+	}
+}

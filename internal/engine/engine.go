@@ -1,0 +1,604 @@
+// Package engine is ExpFinder's query engine: it manages named data
+// graphs, evaluates (bounded) simulation queries with plan selection,
+// ranks top-K experts, caches results, registers frequently issued queries
+// for incremental maintenance, and routes evaluation through compressed
+// graphs when one is available — the coordination described in §II of the
+// paper.
+//
+// Evaluation pipeline for a query Q on graph G:
+//
+//  1. return the cached M(Q,G) if the cache holds one for G's current
+//     version;
+//  2. if Q is registered for incremental maintenance, read the maintained
+//     relation;
+//  3. if a compressed graph Gc compatible with Q exists, evaluate on Gc
+//     and expand;
+//  4. otherwise evaluate directly — with the quadratic simulation
+//     algorithm when every bound is 1, the cubic bounded-simulation
+//     algorithm otherwise ("optimized query plans").
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"expfinder/internal/bsim"
+	"expfinder/internal/cache"
+	"expfinder/internal/compress"
+	"expfinder/internal/graph"
+	"expfinder/internal/incremental"
+	"expfinder/internal/match"
+	"expfinder/internal/pattern"
+	"expfinder/internal/rank"
+	"expfinder/internal/simulation"
+	"expfinder/internal/storage"
+)
+
+// Engine errors.
+var (
+	ErrGraphExists  = errors.New("engine: graph already exists")
+	ErrNoGraph      = errors.New("engine: no such graph")
+	ErrNotTracked   = errors.New("engine: query not registered")
+	ErrIncompatible = errors.New("engine: compressed view incompatible with query")
+)
+
+// Plan names the algorithm selected for a query.
+type Plan string
+
+// Plans.
+const (
+	PlanSimulation Plan = "simulation"         // quadratic, all bounds 1
+	PlanBounded    Plan = "bounded-simulation" // cubic
+)
+
+// Source names where a query result came from.
+type Source string
+
+// Sources.
+const (
+	SourceCache       Source = "cache"
+	SourceStore       Source = "store"
+	SourceIncremental Source = "incremental"
+	SourceCompressed  Source = "compressed"
+	SourceDirect      Source = "direct"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// CacheSize is the result-cache capacity (entries). Default 128.
+	CacheSize int
+	// Store, when set, persists saved graphs and results.
+	Store *storage.Store
+}
+
+// Engine manages graphs and evaluates queries. Safe for concurrent use:
+// queries take a read lock, updates a write lock.
+type Engine struct {
+	mu    sync.RWMutex
+	opts  Options
+	cache *cache.Cache
+	gs    map[string]*managed
+
+	// rgCache memoizes result graphs alongside the relation cache: a cache
+	// hit would otherwise pay the full result-graph reconstruction (one
+	// bounded BFS per match), which dominates repeat-query latency.
+	// Entries are immutable once built; eviction is wholesale when the map
+	// outgrows the relation cache capacity.
+	rgMu      sync.Mutex
+	rgCache   map[cache.Key]*match.ResultGraph
+	rankCache map[cache.Key][]rank.Ranked // full ranking, best-first
+}
+
+type managed struct {
+	g        *graph.Graph
+	comp     *compress.Compressed            // optional
+	matchers map[string]*incremental.Matcher // pattern hash -> matcher
+	queries  map[string]*pattern.Pattern     // pattern hash -> registered pattern
+}
+
+// New returns an engine with the given options.
+func New(opts Options) *Engine {
+	size := opts.CacheSize
+	if size <= 0 {
+		size = 128
+	}
+	return &Engine{
+		opts:      opts,
+		cache:     cache.New(size),
+		gs:        map[string]*managed{},
+		rgCache:   map[cache.Key]*match.ResultGraph{},
+		rankCache: map[cache.Key][]rank.Ranked{},
+	}
+}
+
+// resultGraphFor returns the memoized result graph for (key, rel), building
+// it on demand.
+func (e *Engine) resultGraphFor(key cache.Key, g *graph.Graph, q *pattern.Pattern, rel *match.Relation) *match.ResultGraph {
+	e.rgMu.Lock()
+	if rg, ok := e.rgCache[key]; ok {
+		e.rgMu.Unlock()
+		return rg
+	}
+	e.rgMu.Unlock()
+	rg := match.BuildResultGraph(g, q, rel)
+	e.rgMu.Lock()
+	capacity := e.opts.CacheSize
+	if capacity <= 0 {
+		capacity = 128
+	}
+	if len(e.rgCache) >= capacity {
+		e.rgCache = map[cache.Key]*match.ResultGraph{}
+	}
+	e.rgCache[key] = rg
+	e.rgMu.Unlock()
+	return rg
+}
+
+// rankingFor returns the memoized full (best-first) ranking of the output
+// node's matches, building it on demand. Callers slice off their top K; the
+// shared slice is never mutated.
+func (e *Engine) rankingFor(key cache.Key, rg *match.ResultGraph, q *pattern.Pattern, rel *match.Relation) []rank.Ranked {
+	e.rgMu.Lock()
+	if ranked, ok := e.rankCache[key]; ok {
+		e.rgMu.Unlock()
+		return ranked
+	}
+	e.rgMu.Unlock()
+	ranked := rank.TopKWithResultGraph(rg, q, rel, 0) // 0 = rank all
+	e.rgMu.Lock()
+	capacity := e.opts.CacheSize
+	if capacity <= 0 {
+		capacity = 128
+	}
+	if len(e.rankCache) >= capacity {
+		e.rankCache = map[cache.Key][]rank.Ranked{}
+	}
+	e.rankCache[key] = ranked
+	e.rgMu.Unlock()
+	return ranked
+}
+
+// AddGraph registers a graph under a name. The engine owns the graph from
+// here on: all mutations must go through ApplyUpdates.
+func (e *Engine) AddGraph(name string, g *graph.Graph) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.gs[name]; ok {
+		return fmt.Errorf("%w: %q", ErrGraphExists, name)
+	}
+	e.gs[name] = &managed{
+		g:        g,
+		matchers: map[string]*incremental.Matcher{},
+		queries:  map[string]*pattern.Pattern{},
+	}
+	return nil
+}
+
+// RemoveGraph drops a graph and everything attached to it.
+func (e *Engine) RemoveGraph(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.gs[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoGraph, name)
+	}
+	delete(e.gs, name)
+	e.cache.InvalidateGraph(name)
+	return nil
+}
+
+// Graph returns the named graph for read-only use.
+func (e *Engine) Graph(name string) (*graph.Graph, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	mg, ok := e.gs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoGraph, name)
+	}
+	return mg.g, nil
+}
+
+// ListGraphs returns the names of managed graphs, sorted.
+func (e *Engine) ListGraphs() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.gs))
+	for name := range e.gs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Result is the full answer to a query: the match relation, the result
+// graph for visualization, the ranked top-K experts, and provenance.
+type Result struct {
+	Relation    *match.Relation
+	ResultGraph *match.ResultGraph
+	TopK        []rank.Ranked
+	Plan        Plan
+	Source      Source
+	Elapsed     time.Duration
+}
+
+// Query evaluates q on the named graph and ranks the top k matches of the
+// output node (k <= 0 ranks all).
+func (e *Engine) Query(graphName string, q *pattern.Pattern, k int) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	mg, ok := e.gs[graphName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	}
+	rel, source, plan := e.evaluate(graphName, mg, q)
+	key := cache.Key{GraphName: graphName, GraphVersion: mg.g.Version(), PatternHash: q.Hash()}
+	rg := e.resultGraphFor(key, mg.g, q, rel)
+	ranked := e.rankingFor(key, rg, q, rel)
+	if k > 0 && k < len(ranked) {
+		ranked = ranked[:k]
+	}
+	res := &Result{
+		Relation:    rel,
+		ResultGraph: rg,
+		TopK:        append([]rank.Ranked(nil), ranked...),
+		Plan:        plan,
+		Source:      source,
+		Elapsed:     time.Since(start),
+	}
+	return res, nil
+}
+
+// evaluate runs the pipeline described in the package comment. Callers
+// hold at least a read lock.
+func (e *Engine) evaluate(graphName string, mg *managed, q *pattern.Pattern) (*match.Relation, Source, Plan) {
+	plan := PlanBounded
+	if q.IsPlainSimulation() {
+		plan = PlanSimulation
+	}
+	key := cache.Key{GraphName: graphName, GraphVersion: mg.g.Version(), PatternHash: q.Hash()}
+	if rel, ok := e.cache.Get(key); ok {
+		return rel, SourceCache, plan
+	}
+	if m, ok := mg.matchers[q.Hash()]; ok {
+		rel := m.Relation()
+		e.cache.Put(key, rel)
+		return rel, SourceIncremental, plan
+	}
+	// Results persisted to the store in a previous session are reusable as
+	// long as the graph version (deterministic for a given mutation
+	// history) still matches.
+	if e.opts.Store != nil {
+		if rec, err := e.opts.Store.LoadResult(graphName, q.Hash()); err == nil &&
+			rec.GraphVersion == mg.g.Version() && rec.NumPNodes == q.NumNodes() {
+			rel := rec.Relation()
+			e.cache.Put(key, rel)
+			return rel, SourceStore, plan
+		}
+	}
+	if mg.comp != nil && e.compressedUsable(mg.comp, q, plan) {
+		var onQ *match.Relation
+		if plan == PlanSimulation {
+			onQ = simulation.Compute(mg.comp.Graph(), q)
+		} else {
+			onQ = bsim.Compute(mg.comp.Graph(), q)
+		}
+		rel := mg.comp.Decompress(onQ)
+		e.cache.Put(key, rel)
+		return rel, SourceCompressed, plan
+	}
+	var rel *match.Relation
+	if plan == PlanSimulation {
+		rel = simulation.Compute(mg.g, q)
+	} else {
+		rel = bsim.Compute(mg.g, q)
+	}
+	e.cache.Put(key, rel)
+	if e.opts.Store != nil {
+		// Persistence is best-effort: a failed write must not fail the
+		// query (the result is still correct and cached in memory).
+		_ = e.opts.Store.SaveResult(storage.NewResultRecord(q, graphName, mg.g.Version(), rel))
+	}
+	return rel, SourceDirect, plan
+}
+
+// compressedUsable reports whether the quotient can answer q exactly:
+// the attribute view must cover q's predicates, and bounded plans require
+// the bisimulation scheme.
+func (e *Engine) compressedUsable(c *compress.Compressed, q *pattern.Pattern, plan Plan) bool {
+	if !c.AttrView().Compatible(q) {
+		return false
+	}
+	return plan == PlanSimulation || c.Scheme() == compress.Bisimulation
+}
+
+// CacheStats exposes result-cache counters.
+func (e *Engine) CacheStats() cache.Stats { return e.cache.Stats() }
+
+// RegisterQuery starts incremental maintenance for q on the named graph:
+// subsequent ApplyUpdates calls repair its result instead of recomputing.
+func (e *Engine) RegisterQuery(graphName string, q *pattern.Pattern) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	mg, ok := e.gs[graphName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	}
+	h := q.Hash()
+	if _, ok := mg.matchers[h]; ok {
+		return nil // already registered
+	}
+	mg.matchers[h] = incremental.NewMatcher(mg.g, q)
+	mg.queries[h] = q.Clone()
+	return nil
+}
+
+// UnregisterQuery stops incremental maintenance for q.
+func (e *Engine) UnregisterQuery(graphName string, q *pattern.Pattern) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	mg, ok := e.gs[graphName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	}
+	h := q.Hash()
+	if _, ok := mg.matchers[h]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotTracked, q.Node(q.Output()).Name)
+	}
+	delete(mg.matchers, h)
+	delete(mg.queries, h)
+	return nil
+}
+
+// RegisteredQueries returns the patterns under incremental maintenance.
+func (e *Engine) RegisteredQueries(graphName string) ([]*pattern.Pattern, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	mg, ok := e.gs[graphName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	}
+	out := make([]*pattern.Pattern, 0, len(mg.queries))
+	for _, q := range mg.queries {
+		out = append(out, q.Clone())
+	}
+	return out, nil
+}
+
+// Delta describes how one registered query's matches changed.
+type Delta struct {
+	PatternHash string
+	Added       []match.Pair
+	Removed     []match.Pair
+}
+
+// ApplyUpdates applies edge updates to the named graph, repairs every
+// registered query incrementally, and maintains the compressed graph if
+// present. It returns per-registered-query deltas.
+func (e *Engine) ApplyUpdates(graphName string, ops []incremental.Update) ([]Delta, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	mg, ok := e.gs[graphName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	}
+	// Apply to the graph once; consumers sync post-hoc.
+	for i, op := range ops {
+		var err error
+		if op.Insert {
+			err = mg.g.AddEdge(op.From, op.To)
+		} else {
+			err = mg.g.RemoveEdge(op.From, op.To)
+		}
+		if err != nil {
+			// Roll back the prefix so graph and consumers stay consistent.
+			for j := i - 1; j >= 0; j-- {
+				if ops[j].Insert {
+					_ = mg.g.RemoveEdge(ops[j].From, ops[j].To)
+				} else {
+					_ = mg.g.AddEdge(ops[j].From, ops[j].To)
+				}
+			}
+			return nil, fmt.Errorf("engine: apply op %d: %w", i, err)
+		}
+	}
+	var deltas []Delta
+	for h, m := range mg.matchers {
+		added, removed, err := m.Sync(ops)
+		if err != nil {
+			return nil, fmt.Errorf("engine: sync matcher %s: %w", h[:8], err)
+		}
+		deltas = append(deltas, Delta{PatternHash: h, Added: added, Removed: removed})
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].PatternHash < deltas[j].PatternHash })
+	if mg.comp != nil {
+		cops := make([]compress.Update, len(ops))
+		for i, op := range ops {
+			cops[i] = compress.Update{Insert: op.Insert, From: op.From, To: op.To}
+		}
+		if err := mg.comp.Sync(cops); err != nil {
+			return nil, fmt.Errorf("engine: sync compressed graph: %w", err)
+		}
+	}
+	return deltas, nil
+}
+
+// AddNode inserts a node into a managed graph, keeping registered queries
+// and the compressed form in sync.
+func (e *Engine) AddNode(graphName, label string, attrs graph.Attrs) (graph.NodeID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	mg, ok := e.gs[graphName]
+	if !ok {
+		return graph.Invalid, fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	}
+	id := mg.g.AddNode(label, attrs)
+	for _, m := range mg.matchers {
+		m.SyncNodeAdded(id)
+	}
+	if mg.comp != nil {
+		if err := mg.comp.SyncNodeAdded(id); err != nil {
+			return id, fmt.Errorf("engine: sync compressed graph: %w", err)
+		}
+	}
+	return id, nil
+}
+
+// RemoveNode removes a node and its incident edges from a managed graph,
+// repairing registered queries and the compressed form incrementally.
+func (e *Engine) RemoveNode(graphName string, id graph.NodeID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	mg, ok := e.gs[graphName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	}
+	if !mg.g.Has(id) {
+		return graph.ErrNoNode
+	}
+	// Phase 1: detach incident edges through the ordinary edge-update
+	// path, so cascades run while the graph is still consistent.
+	var ops []incremental.Update
+	for _, v := range mg.g.Out(id) {
+		ops = append(ops, incremental.Delete(id, v))
+	}
+	for _, u := range mg.g.In(id) {
+		if u != id { // self-loop already covered by the out pass
+			ops = append(ops, incremental.Delete(u, id))
+		}
+	}
+	for _, op := range ops {
+		if err := mg.g.RemoveEdge(op.From, op.To); err != nil {
+			return fmt.Errorf("engine: detach node %d: %w", id, err)
+		}
+	}
+	for _, m := range mg.matchers {
+		if _, _, err := m.Sync(ops); err != nil {
+			return fmt.Errorf("engine: sync matcher: %w", err)
+		}
+	}
+	if mg.comp != nil {
+		cops := make([]compress.Update, len(ops))
+		for i, op := range ops {
+			cops[i] = compress.Update{Insert: op.Insert, From: op.From, To: op.To}
+		}
+		if err := mg.comp.Sync(cops); err != nil {
+			return fmt.Errorf("engine: sync compressed graph: %w", err)
+		}
+	}
+	// Phase 2: the node is isolated; clear it everywhere and drop it.
+	for _, m := range mg.matchers {
+		m.SyncNodeRemoving(id)
+	}
+	if mg.comp != nil {
+		if err := mg.comp.SyncNodeRemoving(id); err != nil {
+			return fmt.Errorf("engine: sync compressed graph: %w", err)
+		}
+	}
+	if err := mg.g.RemoveNode(id); err != nil {
+		return err
+	}
+	// Versions moved past the syncs' snapshots; refresh them.
+	for _, m := range mg.matchers {
+		m.RefreshVersion()
+	}
+	if mg.comp != nil {
+		mg.comp.RefreshVersion()
+	}
+	return nil
+}
+
+// SetNodeAttr updates one attribute of a node in a managed graph, keeping
+// registered queries and the compressed form in sync (the predicate and
+// signature changes are repaired incrementally).
+func (e *Engine) SetNodeAttr(graphName string, id graph.NodeID, key string, v graph.Value) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	mg, ok := e.gs[graphName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	}
+	if err := mg.g.SetAttr(id, key, v); err != nil {
+		return err
+	}
+	for _, m := range mg.matchers {
+		if _, _, err := m.SyncAttrChanged(id); err != nil {
+			return fmt.Errorf("engine: sync matcher: %w", err)
+		}
+	}
+	if mg.comp != nil {
+		if err := mg.comp.SyncAttrChanged(id); err != nil {
+			return fmt.Errorf("engine: sync compressed graph: %w", err)
+		}
+	}
+	return nil
+}
+
+// CompressGraph builds (or replaces) the compressed form of a graph.
+func (e *Engine) CompressGraph(graphName string, scheme compress.Scheme, view compress.View) (*compress.Compressed, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	mg, ok := e.gs[graphName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	}
+	mg.comp = compress.CompressWithView(mg.g, scheme, view)
+	return mg.comp, nil
+}
+
+// Compressed returns the current compressed form, if any.
+func (e *Engine) Compressed(graphName string) (*compress.Compressed, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	mg, ok := e.gs[graphName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	}
+	return mg.comp, nil
+}
+
+// DropCompression removes the compressed form.
+func (e *Engine) DropCompression(graphName string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	mg, ok := e.gs[graphName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	}
+	mg.comp = nil
+	return nil
+}
+
+// SaveGraph persists a managed graph to the engine's store.
+func (e *Engine) SaveGraph(graphName string, format storage.Format) error {
+	if e.opts.Store == nil {
+		return errors.New("engine: no store configured")
+	}
+	e.mu.RLock()
+	mg, ok := e.gs[graphName]
+	e.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	}
+	return e.opts.Store.SaveGraph(graphName, mg.g, format)
+}
+
+// LoadGraph loads a graph from the store and registers it.
+func (e *Engine) LoadGraph(graphName string) error {
+	if e.opts.Store == nil {
+		return errors.New("engine: no store configured")
+	}
+	g, err := e.opts.Store.LoadGraph(graphName)
+	if err != nil {
+		return err
+	}
+	return e.AddGraph(graphName, g)
+}

@@ -1,0 +1,573 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"expfinder/internal/bsim"
+	"expfinder/internal/compress"
+	"expfinder/internal/dataset"
+	"expfinder/internal/graph"
+	"expfinder/internal/incremental"
+	"expfinder/internal/pattern"
+	"expfinder/internal/storage"
+	"expfinder/internal/testutil"
+)
+
+func newPaperEngine(t *testing.T) (*Engine, dataset.People) {
+	t.Helper()
+	e := New(Options{})
+	g, p := dataset.PaperGraph()
+	if err := e.AddGraph("paper", g); err != nil {
+		t.Fatal(err)
+	}
+	return e, p
+}
+
+func TestQueryEndToEnd(t *testing.T) {
+	e, p := newPaperEngine(t)
+	q := dataset.PaperQuery()
+	res, err := e.Query("paper", q, 1)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Relation.Size() != 7 {
+		t.Errorf("relation size = %d, want 7", res.Relation.Size())
+	}
+	if len(res.TopK) != 1 || res.TopK[0].Node != p.Bob {
+		t.Errorf("top-1 = %v, want Bob", res.TopK)
+	}
+	if res.Plan != PlanBounded || res.Source != SourceDirect {
+		t.Errorf("plan/source = %v/%v, want bounded/direct", res.Plan, res.Source)
+	}
+	if res.ResultGraph.NumNodes() != 7 {
+		t.Errorf("result graph nodes = %d, want 7", res.ResultGraph.NumNodes())
+	}
+}
+
+func TestQueryCacheHit(t *testing.T) {
+	e, _ := newPaperEngine(t)
+	q := dataset.PaperQuery()
+	if _, err := e.Query("paper", q, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query("paper", q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceCache {
+		t.Errorf("second query source = %v, want cache", res.Source)
+	}
+	st := e.CacheStats()
+	if st.Hits != 1 {
+		t.Errorf("cache hits = %d, want 1", st.Hits)
+	}
+}
+
+func TestPlanSelection(t *testing.T) {
+	e, _ := newPaperEngine(t)
+	q, err := pattern.Parse("node SA [label=SA] output\nnode GD [label=GD]\nedge SA -> GD bound 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query("paper", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan != PlanSimulation {
+		t.Errorf("all-bounds-1 plan = %v, want simulation", res.Plan)
+	}
+}
+
+func TestRegisteredQueryServesIncrementally(t *testing.T) {
+	e, p := newPaperEngine(t)
+	q := dataset.PaperQuery()
+	if err := e.RegisterQuery("paper", q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query("paper", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceIncremental {
+		t.Errorf("source = %v, want incremental", res.Source)
+	}
+	// Apply e1; the delta must be (SD, Fred).
+	e1 := dataset.E1(p)
+	deltas, err := e.ApplyUpdates("paper", []incremental.Update{incremental.Insert(e1.From, e1.To)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 1 || len(deltas[0].Added) != 1 || deltas[0].Added[0].Node != p.Fred {
+		t.Errorf("deltas = %+v, want Fred added", deltas)
+	}
+	// Post-update query must reflect the new relation.
+	res, err = e.Query("paper", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, _ := q.Lookup("SD")
+	if !res.Relation.Has(sd, p.Fred) {
+		t.Error("Fred missing after update")
+	}
+	g, _ := e.Graph("paper")
+	if !res.Relation.Equal(bsim.Compute(g, q)) {
+		t.Error("engine relation diverged from recompute")
+	}
+}
+
+func TestCompressedRouting(t *testing.T) {
+	e, _ := newPaperEngine(t)
+	q := dataset.PaperQuery()
+	want, err := e.Query("paper", q, 0) // direct, cached under current version
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CompressGraph("paper", compress.Bisimulation, compress.View{"experience"}); err != nil {
+		t.Fatal(err)
+	}
+	// Evict cache effect by re-adding the same query under a new engine to
+	// force the compressed path.
+	e2 := New(Options{})
+	g2, _ := dataset.PaperGraph()
+	if err := e2.AddGraph("paper", g2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.CompressGraph("paper", compress.Bisimulation, compress.View{"experience"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e2.Query("paper", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceCompressed {
+		t.Errorf("source = %v, want compressed", res.Source)
+	}
+	if !res.Relation.Equal(want.Relation) {
+		t.Error("compressed result differs from direct result")
+	}
+}
+
+func TestIncompatibleViewFallsBackToDirect(t *testing.T) {
+	e, _ := newPaperEngine(t)
+	// Label-only view cannot answer the paper query (tests experience).
+	if _, err := e.CompressGraph("paper", compress.Bisimulation, compress.View{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query("paper", dataset.PaperQuery(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceDirect {
+		t.Errorf("source = %v, want direct fallback", res.Source)
+	}
+	if res.Relation.Size() != 7 {
+		t.Errorf("fallback relation size = %d, want 7", res.Relation.Size())
+	}
+}
+
+func TestSimEqQuotientRejectedForBoundedPlan(t *testing.T) {
+	e, _ := newPaperEngine(t)
+	if _, err := e.CompressGraph("paper", compress.SimulationEquivalence, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query("paper", dataset.PaperQuery(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceDirect {
+		t.Errorf("bounded query on sim-eq quotient: source = %v, want direct", res.Source)
+	}
+}
+
+func TestApplyUpdatesMaintainsCompressed(t *testing.T) {
+	e, p := newPaperEngine(t)
+	q := dataset.PaperQuery()
+	if _, err := e.CompressGraph("paper", compress.Bisimulation, compress.View{"experience"}); err != nil {
+		t.Fatal(err)
+	}
+	e1 := dataset.E1(p)
+	if _, err := e.ApplyUpdates("paper", []incremental.Update{incremental.Insert(e1.From, e1.To)}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query("paper", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceCompressed {
+		t.Errorf("source = %v, want compressed (maintained)", res.Source)
+	}
+	g, _ := e.Graph("paper")
+	if !res.Relation.Equal(bsim.Compute(g, q)) {
+		t.Error("maintained compressed result diverged")
+	}
+	sd, _ := q.Lookup("SD")
+	if !res.Relation.Has(sd, p.Fred) {
+		t.Error("Fred missing from maintained compressed result")
+	}
+}
+
+func TestApplyUpdatesRollsBackOnError(t *testing.T) {
+	e, p := newPaperEngine(t)
+	g, _ := e.Graph("paper")
+	before := g.NumEdges()
+	// Second op fails (duplicate edge) -> first must be rolled back.
+	_, err := e.ApplyUpdates("paper", []incremental.Update{
+		incremental.Insert(p.Fred, p.Pat),
+		incremental.Insert(p.Bob, p.Dan), // already exists
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if g.NumEdges() != before {
+		t.Errorf("edges = %d after failed batch, want %d", g.NumEdges(), before)
+	}
+	if g.HasEdge(p.Fred, p.Pat) {
+		t.Error("first op not rolled back")
+	}
+}
+
+func TestGraphLifecycleErrors(t *testing.T) {
+	e := New(Options{})
+	g, _ := dataset.PaperGraph()
+	if err := e.AddGraph("g", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddGraph("g", g); !errors.Is(err, ErrGraphExists) {
+		t.Errorf("dup AddGraph err = %v", err)
+	}
+	if _, err := e.Query("nope", dataset.PaperQuery(), 0); !errors.Is(err, ErrNoGraph) {
+		t.Errorf("missing graph Query err = %v", err)
+	}
+	if err := e.UnregisterQuery("g", dataset.PaperQuery()); !errors.Is(err, ErrNotTracked) {
+		t.Errorf("UnregisterQuery err = %v", err)
+	}
+	if err := e.RemoveGraph("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RemoveGraph("g"); !errors.Is(err, ErrNoGraph) {
+		t.Errorf("double RemoveGraph err = %v", err)
+	}
+}
+
+func TestInvalidQueryRejected(t *testing.T) {
+	e, _ := newPaperEngine(t)
+	q := pattern.New() // empty: invalid
+	if _, err := e.Query("paper", q, 0); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if err := e.RegisterQuery("paper", q); err == nil {
+		t.Error("empty pattern registered")
+	}
+}
+
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	e := New(Options{})
+	r := rand.New(rand.NewSource(5))
+	g := testutil.RandomGraph(r, 60, 180)
+	if err := e.AddGraph("g", g); err != nil {
+		t.Fatal(err)
+	}
+	q := testutil.RandomPattern(rand.New(rand.NewSource(6)), 3)
+	if err := e.RegisterQuery("g", q); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-generate valid ops on a mirror so concurrent application cannot
+	// conflict structurally.
+	mirror := g.Clone()
+	ops := testutil.RandomOps(rand.New(rand.NewSource(7)), mirror, 30)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, op := range ops {
+			if _, err := e.ApplyUpdates("g", []incremental.Update{{Insert: op.Insert, From: op.From, To: op.To}}); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := e.Query("g", q, 5); err != nil {
+					errCh <- fmt.Errorf("query: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	// Final state must agree with scratch recomputation.
+	res, err := e.Query("g", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, _ := e.Graph("g")
+	if !res.Relation.Equal(bsim.Compute(gg, q)) {
+		t.Error("post-concurrency relation diverged")
+	}
+}
+
+func TestRegisteredQueriesListing(t *testing.T) {
+	e, _ := newPaperEngine(t)
+	q := dataset.PaperQuery()
+	if err := e.RegisterQuery("paper", q); err != nil {
+		t.Fatal(err)
+	}
+	qs, err := e.RegisteredQueries("paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1 || qs[0].Hash() != q.Hash() {
+		t.Errorf("registered queries = %d", len(qs))
+	}
+	// Registration is idempotent.
+	if err := e.RegisterQuery("paper", q); err != nil {
+		t.Fatal(err)
+	}
+	qs, _ = e.RegisteredQueries("paper")
+	if len(qs) != 1 {
+		t.Errorf("re-registration duplicated: %d", len(qs))
+	}
+}
+
+func TestPersistedResultsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dataset.PaperQuery()
+
+	// Session 1: evaluate once; the result lands in the store.
+	e1 := New(Options{Store: store})
+	g1, _ := dataset.PaperGraph()
+	if err := e1.AddGraph("paper", g1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e1.Query("paper", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceDirect {
+		t.Fatalf("first query source = %v", res.Source)
+	}
+
+	// Session 2 (fresh engine, identically rebuilt graph -> same version):
+	// the persisted result must be served without recomputation.
+	e2 := New(Options{Store: store})
+	g2, _ := dataset.PaperGraph()
+	if err := e2.AddGraph("paper", g2); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := e2.Query("paper", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Source != SourceStore {
+		t.Errorf("restart query source = %v, want store", res2.Source)
+	}
+	if !res2.Relation.Equal(res.Relation) {
+		t.Error("persisted relation differs")
+	}
+
+	// A graph at a different version must not reuse the stale result.
+	e3 := New(Options{Store: store})
+	g3, p := dataset.PaperGraph()
+	if err := g3.AddEdge(p.Fred, p.Pat); err != nil {
+		t.Fatal(err)
+	}
+	if err := e3.AddGraph("paper", g3); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := e3.Query("paper", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Source == SourceStore {
+		t.Error("stale persisted result served for a mutated graph")
+	}
+	sd, _ := q.Lookup("SD")
+	if !res3.Relation.Has(sd, p.Fred) {
+		t.Error("mutated-graph query missing Fred")
+	}
+}
+
+func TestEngineStoreGraphRoundTrip(t *testing.T) {
+	store, err := storage.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Store: store})
+	g, _ := dataset.PaperGraph()
+	if err := e.AddGraph("paper", g); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveGraph("paper", storage.FormatBinary); err != nil {
+		t.Fatalf("SaveGraph: %v", err)
+	}
+	if got := e.ListGraphs(); len(got) != 1 || got[0] != "paper" {
+		t.Errorf("ListGraphs = %v", got)
+	}
+	// Fresh engine loads from the store.
+	e2 := New(Options{Store: store})
+	if err := e2.LoadGraph("paper"); err != nil {
+		t.Fatalf("LoadGraph: %v", err)
+	}
+	g2, err := e2.Graph("paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Equal(g) {
+		t.Error("store round-trip changed the graph")
+	}
+	// Missing graph / missing store errors.
+	if err := e.SaveGraph("nope", storage.FormatJSON); !errors.Is(err, ErrNoGraph) {
+		t.Errorf("SaveGraph missing err = %v", err)
+	}
+	e3 := New(Options{})
+	if err := e3.SaveGraph("paper", storage.FormatJSON); err == nil {
+		t.Error("SaveGraph without store accepted")
+	}
+	if err := e3.LoadGraph("paper"); err == nil {
+		t.Error("LoadGraph without store accepted")
+	}
+}
+
+func TestCompressedAccessors(t *testing.T) {
+	e, _ := newPaperEngine(t)
+	if c, err := e.Compressed("paper"); err != nil || c != nil {
+		t.Errorf("Compressed before compression = (%v, %v)", c, err)
+	}
+	if _, err := e.CompressGraph("paper", compress.Bisimulation, nil); err != nil {
+		t.Fatal(err)
+	}
+	c, err := e.Compressed("paper")
+	if err != nil || c == nil {
+		t.Fatalf("Compressed after compression = (%v, %v)", c, err)
+	}
+	if err := e.DropCompression("paper"); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := e.Compressed("paper"); c != nil {
+		t.Error("DropCompression did not clear")
+	}
+	if err := e.DropCompression("nope"); !errors.Is(err, ErrNoGraph) {
+		t.Errorf("DropCompression missing err = %v", err)
+	}
+	if _, err := e.Compressed("nope"); !errors.Is(err, ErrNoGraph) {
+		t.Errorf("Compressed missing err = %v", err)
+	}
+}
+
+func TestEngineNodeLifecycle(t *testing.T) {
+	e, p := newPaperEngine(t)
+	q := dataset.PaperQuery()
+	if err := e.RegisterQuery("paper", q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CompressGraph("paper", compress.Bisimulation, compress.View{"experience"}); err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		res, err := e.Query("paper", q, 0)
+		if err != nil {
+			t.Fatalf("%s: query: %v", stage, err)
+		}
+		g, _ := e.Graph("paper")
+		if !res.Relation.Equal(bsim.Compute(g, q)) {
+			t.Fatalf("%s: engine relation diverged from recompute", stage)
+		}
+		c, _ := e.Compressed("paper")
+		expanded := c.Decompress(bsim.Compute(c.Graph(), q))
+		if !expanded.Equal(res.Relation) {
+			t.Fatalf("%s: compressed view diverged", stage)
+		}
+	}
+
+	// Add a senior SA and wire them into Bob's team.
+	newSA, err := e.AddNode("paper", "SA", graph.Attrs{
+		"name": graph.String("Zed"), "experience": graph.Int(9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("after AddNode")
+	if _, err := e.ApplyUpdates("paper", []incremental.Update{
+		incremental.Insert(newSA, p.Dan),
+		incremental.Insert(newSA, p.Bill),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	check("after wiring")
+	sa, _ := q.Lookup("SA")
+	res, _ := e.Query("paper", q, 0)
+	if !res.Relation.Has(sa, newSA) {
+		t.Error("new SA not matched after wiring")
+	}
+
+	// Demote Walt; he must drop out.
+	if err := e.SetNodeAttr("paper", p.Walt, "experience", graph.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	check("after SetNodeAttr")
+	res, _ = e.Query("paper", q, 0)
+	if res.Relation.Has(sa, p.Walt) {
+		t.Error("demoted Walt still matched")
+	}
+
+	// Remove Dan entirely.
+	if err := e.RemoveNode("paper", p.Dan); err != nil {
+		t.Fatal(err)
+	}
+	check("after RemoveNode")
+	g, _ := e.Graph("paper")
+	if g.Has(p.Dan) {
+		t.Error("Dan still present")
+	}
+
+	// Error paths.
+	if _, err := e.AddNode("nope", "X", nil); !errors.Is(err, ErrNoGraph) {
+		t.Errorf("AddNode missing graph err = %v", err)
+	}
+	if err := e.RemoveNode("paper", 9999); !errors.Is(err, graph.ErrNoNode) {
+		t.Errorf("RemoveNode missing node err = %v", err)
+	}
+	if err := e.SetNodeAttr("paper", 9999, "x", graph.Int(1)); !errors.Is(err, graph.ErrNoNode) {
+		t.Errorf("SetNodeAttr missing node err = %v", err)
+	}
+}
+
+var benchResult *Result
+
+func BenchmarkEngineQueryDirect(b *testing.B) {
+	e := New(Options{})
+	g, _ := dataset.PaperGraph()
+	if err := e.AddGraph("paper", g); err != nil {
+		b.Fatal(err)
+	}
+	q := dataset.PaperQuery()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Unique pattern hash per iteration would defeat caching; instead
+		// query through the cache to measure the steady-state hit path.
+		res, err := e.Query("paper", q, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchResult = res
+	}
+}

@@ -1,0 +1,362 @@
+// Package generator produces synthetic social and collaboration networks,
+// the demo's synthetic dataset facility plus a stand-in for its proprietary
+// Twitter fraction (see DESIGN.md §4). All generators are deterministic
+// given a seed.
+package generator
+
+import (
+	"fmt"
+	"math/rand"
+
+	"expfinder/internal/graph"
+)
+
+// Fields and specialties mirror the paper's collaboration-network schema.
+var (
+	// Fields is the label distribution of generated people.
+	Fields = []string{"SA", "SD", "BA", "ST", "PM", "GD", "DBA", "QA"}
+	// SpecialtiesByField gives per-field specialties.
+	SpecialtiesByField = map[string][]string{
+		"SA":  {"System Architect", "Solution Architect"},
+		"SD":  {"Programmer", "DBA", "DevOps"},
+		"BA":  {"Business Analyst", "Product Analyst"},
+		"ST":  {"Tester", "Automation Tester"},
+		"PM":  {"Project Manager"},
+		"GD":  {"Graphic Designer"},
+		"DBA": {"Database Administrator"},
+		"QA":  {"Quality Engineer"},
+	}
+	// MaxExperience bounds the experience attribute (years).
+	MaxExperience = 15
+)
+
+// Config parameterizes the generators.
+type Config struct {
+	Nodes int
+	// AvgDegree is the target average out-degree (where applicable).
+	AvgDegree float64
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.Nodes < 0 {
+		return fmt.Errorf("generator: negative node count %d", c.Nodes)
+	}
+	if c.AvgDegree < 0 {
+		return fmt.Errorf("generator: negative average degree %g", c.AvgDegree)
+	}
+	return nil
+}
+
+// person adds one attributed node with field-dependent specialty and
+// experience drawn from r.
+func person(g *graph.Graph, r *rand.Rand, i int) graph.NodeID {
+	field := Fields[r.Intn(len(Fields))]
+	specs := SpecialtiesByField[field]
+	return g.AddNode(field, graph.Attrs{
+		"name":       graph.String(fmt.Sprintf("p%d", i)),
+		"specialty":  graph.String(specs[r.Intn(len(specs))]),
+		"experience": graph.Int(int64(r.Intn(MaxExperience))),
+	})
+}
+
+// ErdosRenyi generates a uniform random digraph: each of the Nodes *
+// AvgDegree edges connects two uniformly random distinct nodes.
+func ErdosRenyi(cfg Config) (*graph.Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		person(g, r, i)
+	}
+	target := int(float64(cfg.Nodes) * cfg.AvgDegree)
+	for added, attempts := 0, 0; added < target && attempts < target*20; attempts++ {
+		u := graph.NodeID(r.Intn(cfg.Nodes))
+		v := graph.NodeID(r.Intn(cfg.Nodes))
+		if u == v {
+			continue
+		}
+		if g.AddEdge(u, v) == nil {
+			added++
+		}
+	}
+	return g, nil
+}
+
+// BarabasiAlbert generates a scale-free digraph by preferential attachment:
+// each new node attaches AvgDegree out-edges to targets drawn proportional
+// to their current in-degree (plus one), yielding the heavy-tailed degree
+// distributions of real social graphs.
+func BarabasiAlbert(cfg Config) (*graph.Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(cfg.Nodes)
+	m := int(cfg.AvgDegree)
+	if m < 1 {
+		m = 1
+	}
+	// repeated holds node ids once per (in-degree+1): sampling uniformly
+	// from it implements preferential attachment.
+	var repeated []graph.NodeID
+	for i := 0; i < cfg.Nodes; i++ {
+		id := person(g, r, i)
+		k := m
+		if i < m {
+			k = i // early nodes attach to all predecessors
+		}
+		for e := 0; e < k; e++ {
+			var tgt graph.NodeID
+			for tries := 0; ; tries++ {
+				tgt = repeated[r.Intn(len(repeated))]
+				if tgt != id && !g.HasEdge(id, tgt) {
+					break
+				}
+				if tries > 50 { // dense early graph: fall back to any node
+					tgt = graph.NodeID(r.Intn(i))
+					if tgt == id || g.HasEdge(id, tgt) {
+						tgt = graph.Invalid
+					}
+					break
+				}
+			}
+			if tgt == graph.Invalid {
+				continue
+			}
+			if err := g.AddEdge(id, tgt); err == nil {
+				repeated = append(repeated, tgt)
+			}
+		}
+		repeated = append(repeated, id)
+	}
+	return g, nil
+}
+
+// Collaboration generates a project-team structured network: people are
+// grouped into teams of 5–15 led by a senior member, with members assigned
+// to role cohorts (field, specialty and mostly-shared experience per
+// cohort). Collaboration edges follow the team structure — leader to every
+// member, cohort-wide backlinks to the leader, cohort-to-cohort handoffs —
+// and teams are stitched together leader-to-leader. The cohort structure
+// both guarantees matches for ExpFinder-style hiring queries (Fig. 1) and
+// reproduces the structural redundancy of real organizations that
+// query-preserving compression exploits: members of one cohort are
+// bisimilar unless their individual experience diverges.
+func Collaboration(cfg Config) (*graph.Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(cfg.Nodes)
+	n := cfg.Nodes
+	if n == 0 {
+		return g, nil
+	}
+	// Core team roles cycle through the schema so hiring queries always
+	// have candidate pools.
+	roles := []string{"SD", "BA", "ST", "SD", "QA", "PM", "GD", "DBA"}
+	var leaders []graph.NodeID
+	for start := 0; start < n; {
+		size := 5 + r.Intn(11)
+		if start+size > n {
+			size = n - start
+		}
+		// Leader: a senior architect half the time.
+		leaderField := "SA"
+		leaderExp := int64(5 + r.Intn(MaxExperience-5))
+		if r.Intn(2) == 1 {
+			leaderField = Fields[r.Intn(len(Fields))]
+			leaderExp = int64(r.Intn(MaxExperience))
+		}
+		leader := g.AddNode(leaderField, graph.Attrs{
+			"name":       graph.String(fmt.Sprintf("p%d", start)),
+			"specialty":  graph.String(SpecialtiesByField[leaderField][0]),
+			"experience": graph.Int(leaderExp),
+		})
+		leaders = append(leaders, leader)
+
+		// Members arrive in role cohorts of 2–4 sharing field, specialty
+		// and (mostly) experience.
+		var cohorts [][]graph.NodeID
+		placed := 1
+		roleIdx := r.Intn(len(roles))
+		for placed < size {
+			csize := 2 + r.Intn(3)
+			if placed+csize > size {
+				csize = size - placed
+			}
+			field := roles[roleIdx%len(roles)]
+			roleIdx++
+			specs := SpecialtiesByField[field]
+			spec := specs[r.Intn(len(specs))]
+			baseExp := int64(2 + r.Intn(6))
+			var cohort []graph.NodeID
+			for i := 0; i < csize; i++ {
+				exp := baseExp
+				if r.Intn(10) == 0 { // individual variation splits a few twins
+					exp = int64(r.Intn(MaxExperience))
+				}
+				id := g.AddNode(field, graph.Attrs{
+					"name":       graph.String(fmt.Sprintf("p%d", start+placed+i)),
+					"specialty":  graph.String(spec),
+					"experience": graph.Int(exp),
+				})
+				cohort = append(cohort, id)
+			}
+			cohorts = append(cohorts, cohort)
+			placed += csize
+		}
+		// Edges: leader -> every member; per-cohort (all-or-none, so
+		// cohort members stay structurally identical) backlinks to the
+		// leader and handoffs to the next cohort's first member.
+		for ci, cohort := range cohorts {
+			for _, m := range cohort {
+				_ = g.AddEdge(leader, m)
+			}
+			backlink := r.Intn(2) == 0
+			handoff := r.Intn(2) == 0 && len(cohorts) > 1
+			next := cohorts[(ci+1)%len(cohorts)][0]
+			for _, m := range cohort {
+				if backlink {
+					_ = g.AddEdge(m, leader)
+				}
+				if handoff && m != next {
+					_ = g.AddEdge(m, next)
+				}
+			}
+		}
+		start += size
+	}
+	// Cross-team stitching among leaders only, scaled by the degree target
+	// (members keep their cohort-pure neighborhoods).
+	if len(leaders) > 1 {
+		perLeader := int(cfg.AvgDegree)
+		if perLeader < 1 {
+			perLeader = 1
+		}
+		for _, l := range leaders {
+			for i := 0; i < perLeader; i++ {
+				other := leaders[r.Intn(len(leaders))]
+				if other != l {
+					_ = g.AddEdge(l, other)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Twitter generates a follower-graph stand-in for the demo's proprietary
+// Twitter fraction. Half the accounts form a preferential-attachment core
+// with reciprocal follow-backs (power-law in-degrees, celebrity hubs); the
+// other half are audience accounts arriving in fan cohorts — groups with
+// the same profile following the same one or two celebrities and nothing
+// else, the structural redundancy that dominates real follower graphs.
+// The attribute schema matches the collaboration networks so the same
+// queries run on both.
+func Twitter(cfg Config) (*graph.Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	coreN := cfg.Nodes / 3
+	g, err := BarabasiAlbert(Config{Nodes: coreN, AvgDegree: cfg.AvgDegree, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed + 1))
+	// Reciprocity in the core: a fraction of follows are mutual.
+	var backs []graph.Edge
+	g.ForEachEdge(func(e graph.Edge) {
+		if r.Float64() < 0.2 && !g.HasEdge(e.To, e.From) {
+			backs = append(backs, graph.Edge{From: e.To, To: e.From})
+		}
+	})
+	for _, e := range backs {
+		_ = g.AddEdge(e.From, e.To)
+	}
+	if coreN == 0 {
+		return g, nil
+	}
+	// Celebrities: the most-followed core accounts.
+	type deg struct {
+		id graph.NodeID
+		in int
+	}
+	var ds []deg
+	g.ForEachNode(func(n graph.Node) { ds = append(ds, deg{n.ID, g.InDegree(n.ID)}) })
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j].in > ds[j-1].in; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+	nCeleb := 20
+	if nCeleb > len(ds) {
+		nCeleb = len(ds)
+	}
+	// Audience: fan cohorts of 3–8 identical accounts following the same
+	// celebrity (sometimes two).
+	for added := coreN; added < cfg.Nodes; {
+		csize := 3 + r.Intn(6)
+		if added+csize > cfg.Nodes {
+			csize = cfg.Nodes - added
+		}
+		field := Fields[r.Intn(len(Fields))]
+		spec := SpecialtiesByField[field][0]
+		exp := int64(r.Intn(MaxExperience))
+		c1 := ds[r.Intn(nCeleb)].id
+		var c2 graph.NodeID = graph.Invalid
+		if r.Intn(3) == 0 {
+			c2 = ds[r.Intn(nCeleb)].id
+			if c2 == c1 {
+				c2 = graph.Invalid
+			}
+		}
+		for i := 0; i < csize; i++ {
+			id := g.AddNode(field, graph.Attrs{
+				"name":       graph.String(fmt.Sprintf("p%d", added+i)),
+				"specialty":  graph.String(spec),
+				"experience": graph.Int(exp),
+			})
+			_ = g.AddEdge(id, c1)
+			if c2 != graph.Invalid {
+				_ = g.AddEdge(id, c2)
+			}
+		}
+		added += csize
+	}
+	return g, nil
+}
+
+// Kind names a generator for CLI and experiment configuration.
+type Kind string
+
+// Generator kinds.
+const (
+	KindER     Kind = "er"
+	KindBA     Kind = "ba"
+	KindCollab Kind = "collab"
+	KindTwit   Kind = "twitter"
+)
+
+// Kinds lists all generator kinds.
+func Kinds() []Kind { return []Kind{KindCollab, KindTwit, KindER, KindBA} }
+
+// Generate dispatches on kind.
+func Generate(kind Kind, cfg Config) (*graph.Graph, error) {
+	switch kind {
+	case KindER:
+		return ErdosRenyi(cfg)
+	case KindBA:
+		return BarabasiAlbert(cfg)
+	case KindCollab:
+		return Collaboration(cfg)
+	case KindTwit:
+		return Twitter(cfg)
+	default:
+		return nil, fmt.Errorf("generator: unknown kind %q", kind)
+	}
+}

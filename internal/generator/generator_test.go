@@ -1,0 +1,134 @@
+package generator
+
+import (
+	"testing"
+
+	"expfinder/internal/graph"
+)
+
+func TestAllKindsProduceRequestedSize(t *testing.T) {
+	for _, kind := range Kinds() {
+		g, err := Generate(kind, Config{Nodes: 500, AvgDegree: 4, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g.NumNodes() != 500 {
+			t.Errorf("%s: nodes = %d, want 500", kind, g.NumNodes())
+		}
+		if g.NumEdges() == 0 {
+			t.Errorf("%s: generated no edges", kind)
+		}
+		// Reasonable density: within a factor of the request.
+		avg := float64(g.NumEdges()) / 500
+		if avg > 12 {
+			t.Errorf("%s: average degree %.1f wildly above target 4", kind, avg)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	for _, kind := range Kinds() {
+		a, err := Generate(kind, Config{Nodes: 200, AvgDegree: 3, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(kind, Config{Nodes: 200, AvgDegree: 3, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Errorf("%s: same seed produced different graphs", kind)
+		}
+		c, err := Generate(kind, Config{Nodes: 200, AvgDegree: 3, Seed: 43})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Equal(c) {
+			t.Errorf("%s: different seeds produced identical graphs", kind)
+		}
+	}
+}
+
+func TestNodesCarrySchema(t *testing.T) {
+	g, err := Collaboration(Config{Nodes: 100, AvgDegree: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ForEachNode(func(n graph.Node) {
+		if n.Label == "" {
+			t.Fatalf("node %d has no label", n.ID)
+		}
+		for _, attr := range []string{"name", "specialty", "experience"} {
+			if _, ok := n.Attrs[attr]; !ok {
+				t.Fatalf("node %d missing attribute %q", n.ID, attr)
+			}
+		}
+		if exp, _ := n.Attrs["experience"]; exp.Kind() != graph.KindInt {
+			t.Fatalf("experience has kind %v", exp.Kind())
+		}
+	})
+}
+
+func TestBarabasiAlbertIsHeavyTailed(t *testing.T) {
+	g, err := BarabasiAlbert(Config{Nodes: 2000, AvgDegree: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.ComputeStats()
+	// Preferential attachment must produce hubs far above the mean
+	// in-degree; uniform graphs stay near it.
+	meanIn := float64(g.NumEdges()) / float64(g.NumNodes())
+	if float64(st.MaxInDeg) < meanIn*8 {
+		t.Errorf("max in-degree %d not heavy-tailed (mean %.1f)", st.MaxInDeg, meanIn)
+	}
+}
+
+func TestTwitterHasReciprocalFollows(t *testing.T) {
+	g, err := Twitter(Config{Nodes: 1000, AvgDegree: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutual := 0
+	g.ForEachEdge(func(e graph.Edge) {
+		if g.HasEdge(e.To, e.From) {
+			mutual++
+		}
+	})
+	if mutual == 0 {
+		t.Error("Twitter graph has no reciprocal follows")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := ErdosRenyi(Config{Nodes: -1}); err == nil {
+		t.Error("negative node count accepted")
+	}
+	if _, err := Collaboration(Config{Nodes: 10, AvgDegree: -2}); err == nil {
+		t.Error("negative degree accepted")
+	}
+	if _, err := Generate(Kind("bogus"), Config{Nodes: 1}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// Zero nodes is legal and yields an empty graph.
+	g, err := Collaboration(Config{Nodes: 0, AvgDegree: 4, Seed: 1})
+	if err != nil || g.NumNodes() != 0 {
+		t.Errorf("zero-node generation: g=%v err=%v", g, err)
+	}
+}
+
+func TestCollaborationHasSeniorLeaders(t *testing.T) {
+	g, err := Collaboration(Config{Nodes: 1000, AvgDegree: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hiring queries need experienced people with teams; check some exist.
+	seniors := 0
+	g.ForEachNode(func(n graph.Node) {
+		if exp := n.Attrs["experience"]; exp.IntVal() >= 5 && g.OutDegree(n.ID) >= 3 {
+			seniors++
+		}
+	})
+	if seniors < 10 {
+		t.Errorf("only %d senior leaders in 1000-person network", seniors)
+	}
+}

@@ -1,0 +1,80 @@
+package graph
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of NodeIDs used by the reachability index
+// and the matching algorithms, where map[NodeID]bool churn would dominate.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns a bitset able to hold ids 0..n-1.
+func NewBitset(n int) *Bitset {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity (number of addressable ids).
+func (b *Bitset) Len() int { return b.n }
+
+// Set adds id to the set.
+func (b *Bitset) Set(id NodeID) { b.words[id>>6] |= 1 << (uint(id) & 63) }
+
+// Clear removes id from the set.
+func (b *Bitset) Clear(id NodeID) { b.words[id>>6] &^= 1 << (uint(id) & 63) }
+
+// Has reports whether id is in the set.
+func (b *Bitset) Has(id NodeID) bool {
+	return b.words[id>>6]&(1<<(uint(id)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset clears all bits, keeping capacity.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Union sets b = b | other. Both bitsets must have the same capacity.
+func (b *Bitset) Union(other *Bitset) {
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// Clone returns a copy of the bitset.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// ForEach calls fn for every set id in increasing order.
+func (b *Bitset) ForEach(fn func(NodeID)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			fn(NodeID(wi*64 + tz))
+			w &^= 1 << uint(tz)
+		}
+	}
+}
+
+// Slice returns the set ids in increasing order.
+func (b *Bitset) Slice() []NodeID {
+	out := make([]NodeID, 0, b.Count())
+	b.ForEach(func(id NodeID) { out = append(out, id) })
+	return out
+}

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if b.Count() != 0 {
+		t.Fatal("new bitset not empty")
+	}
+	for _, id := range []NodeID{0, 63, 64, 129} {
+		b.Set(id)
+		if !b.Has(id) {
+			t.Errorf("Has(%d) false after Set", id)
+		}
+	}
+	if b.Count() != 4 {
+		t.Errorf("Count = %d, want 4", b.Count())
+	}
+	b.Clear(64)
+	if b.Has(64) {
+		t.Error("Has(64) true after Clear")
+	}
+	got := b.Slice()
+	want := []NodeID{0, 63, 129}
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitsetUnionAndClone(t *testing.T) {
+	a := NewBitset(100)
+	b := NewBitset(100)
+	a.Set(1)
+	a.Set(50)
+	b.Set(50)
+	b.Set(99)
+	c := a.Clone()
+	c.Union(b)
+	if c.Count() != 3 || !c.Has(1) || !c.Has(50) || !c.Has(99) {
+		t.Errorf("union wrong: %v", c.Slice())
+	}
+	// Clone independence.
+	if a.Has(99) {
+		t.Error("Union mutated the source of the clone")
+	}
+}
+
+func TestBitsetReset(t *testing.T) {
+	b := NewBitset(64)
+	for i := 0; i < 64; i++ {
+		b.Set(NodeID(i))
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Errorf("Count after Reset = %d", b.Count())
+	}
+	if b.Len() != 64 {
+		t.Errorf("Len after Reset = %d", b.Len())
+	}
+}
+
+// Property: Set then Has agrees with a map-based reference implementation.
+func TestQuickBitsetMatchesMap(t *testing.T) {
+	prop := func(idsRaw []uint16) bool {
+		b := NewBitset(1 << 16)
+		ref := map[NodeID]bool{}
+		for i, raw := range idsRaw {
+			id := NodeID(raw)
+			if i%3 == 2 {
+				b.Clear(id)
+				delete(ref, id)
+			} else {
+				b.Set(id)
+				ref[id] = true
+			}
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		for id := range ref {
+			if !b.Has(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,417 @@
+// Package graph implements the directed, node-attributed data graphs that
+// ExpFinder queries: social and collaboration networks whose nodes carry a
+// label (e.g. a person's field) and typed attributes (specialty, experience)
+// and whose edges denote directed collaboration.
+//
+// The representation is tuned for the matching algorithms built on top of
+// it: dense int32 node ids, forward and reverse adjacency slices, and a
+// monotonically increasing version number so caches and compressed graphs
+// can detect staleness.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a node within a single Graph. IDs are dense (0..n-1 in
+// creation order); removed nodes leave tombstones so existing IDs stay valid.
+type NodeID int32
+
+// Invalid is returned by lookups that find no node.
+const Invalid NodeID = -1
+
+// Node is a person (or any entity) in the data graph.
+type Node struct {
+	ID    NodeID
+	Label string // primary type, e.g. the person's field: "SA", "SD", "BA"
+	Attrs Attrs  // typed attributes, e.g. name, specialty, experience
+}
+
+// Edge is a directed collaboration edge.
+type Edge struct {
+	From, To NodeID
+}
+
+// Common errors returned by graph mutations.
+var (
+	ErrNoNode  = errors.New("graph: node does not exist")
+	ErrDupEdge = errors.New("graph: edge already exists")
+	ErrNoEdge  = errors.New("graph: edge does not exist")
+)
+
+// Graph is a directed graph with attributed nodes. The zero value is not
+// ready to use; call New.
+//
+// Graph is not safe for concurrent mutation; the engine serializes writers
+// and the matching algorithms only read.
+type Graph struct {
+	nodes   []Node
+	alive   []bool
+	out     [][]NodeID
+	in      [][]NodeID
+	nEdges  int
+	nAlive  int
+	version uint64
+}
+
+// New returns an empty graph with capacity hints for n nodes.
+func New(nHint int) *Graph {
+	if nHint < 0 {
+		nHint = 0
+	}
+	return &Graph{
+		nodes: make([]Node, 0, nHint),
+		alive: make([]bool, 0, nHint),
+		out:   make([][]NodeID, 0, nHint),
+		in:    make([][]NodeID, 0, nHint),
+	}
+}
+
+// Version returns a counter that increases on every mutation. Consumers
+// (result caches, compressed graphs) use it to detect staleness.
+func (g *Graph) Version() uint64 { return g.version }
+
+// NumNodes returns the number of live nodes.
+func (g *Graph) NumNodes() int { return g.nAlive }
+
+// NumEdges returns the number of live edges.
+func (g *Graph) NumEdges() int { return g.nEdges }
+
+// MaxID returns the largest node id ever allocated plus one, i.e. the size
+// of dense arrays that index by NodeID. Tombstoned ids count.
+func (g *Graph) MaxID() int { return len(g.nodes) }
+
+// AddNode inserts a node and returns its id.
+func (g *Graph) AddNode(label string, attrs Attrs) NodeID {
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Label: label, Attrs: attrs})
+	g.alive = append(g.alive, true)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	g.nAlive++
+	g.version++
+	return id
+}
+
+// Has reports whether id is a live node.
+func (g *Graph) Has(id NodeID) bool {
+	return id >= 0 && int(id) < len(g.nodes) && g.alive[id]
+}
+
+// Node returns the node with the given id. The boolean is false for unknown
+// or removed ids.
+func (g *Graph) Node(id NodeID) (Node, bool) {
+	if !g.Has(id) {
+		return Node{}, false
+	}
+	return g.nodes[id], true
+}
+
+// MustNode returns the node or panics; for use where the id is known valid.
+func (g *Graph) MustNode(id NodeID) Node {
+	n, ok := g.Node(id)
+	if !ok {
+		panic(fmt.Sprintf("graph: invalid node id %d", id))
+	}
+	return n
+}
+
+// Label returns the label of a live node, or "" for invalid ids.
+func (g *Graph) Label(id NodeID) string {
+	if !g.Has(id) {
+		return ""
+	}
+	return g.nodes[id].Label
+}
+
+// Attr returns a single attribute of a node.
+func (g *Graph) Attr(id NodeID, key string) (Value, bool) {
+	if !g.Has(id) {
+		return Value{}, false
+	}
+	v, ok := g.nodes[id].Attrs[key]
+	return v, ok
+}
+
+// SetAttr updates one attribute on a live node.
+func (g *Graph) SetAttr(id NodeID, key string, v Value) error {
+	if !g.Has(id) {
+		return ErrNoNode
+	}
+	if g.nodes[id].Attrs == nil {
+		g.nodes[id].Attrs = Attrs{}
+	}
+	g.nodes[id].Attrs[key] = v
+	g.version++
+	return nil
+}
+
+// ResetNode rewrites a live node's label and attribute map wholesale,
+// leaving its edges untouched. Intended for data import, where labels and
+// attributes arrive after the topology.
+func (g *Graph) ResetNode(id NodeID, label string, attrs Attrs) error {
+	if !g.Has(id) {
+		return ErrNoNode
+	}
+	g.nodes[id].Label = label
+	g.nodes[id].Attrs = attrs
+	g.version++
+	return nil
+}
+
+// HasEdge reports whether the directed edge (u, v) exists.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if !g.Has(u) || !g.Has(v) {
+		return false
+	}
+	// Scan the smaller endpoint list.
+	if len(g.out[u]) <= len(g.in[v]) {
+		for _, w := range g.out[u] {
+			if w == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, w := range g.in[v] {
+		if w == u {
+			return true
+		}
+	}
+	return false
+}
+
+// AddEdge inserts the directed edge (u, v). Parallel edges are rejected.
+// Self-loops are permitted: social graphs never contain them, but quotient
+// (compressed) graphs use them to represent intra-block collaboration.
+func (g *Graph) AddEdge(u, v NodeID) error {
+	if !g.Has(u) || !g.Has(v) {
+		return ErrNoNode
+	}
+	if g.HasEdge(u, v) {
+		return ErrDupEdge
+	}
+	g.out[u] = append(g.out[u], v)
+	g.in[v] = append(g.in[v], u)
+	g.nEdges++
+	g.version++
+	return nil
+}
+
+// RemoveEdge deletes the directed edge (u, v).
+func (g *Graph) RemoveEdge(u, v NodeID) error {
+	if !g.Has(u) || !g.Has(v) {
+		return ErrNoNode
+	}
+	if !removeFromList(&g.out[u], v) {
+		return ErrNoEdge
+	}
+	removeFromList(&g.in[v], u)
+	g.nEdges--
+	g.version++
+	return nil
+}
+
+func removeFromList(list *[]NodeID, x NodeID) bool {
+	s := *list
+	for i, w := range s {
+		if w == x {
+			s[i] = s[len(s)-1]
+			*list = s[:len(s)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveNode deletes a node and all incident edges. The id becomes a
+// tombstone: it is never reused and all lookups on it fail.
+func (g *Graph) RemoveNode(id NodeID) error {
+	if !g.Has(id) {
+		return ErrNoNode
+	}
+	for _, v := range g.out[id] {
+		removeFromList(&g.in[v], id)
+		g.nEdges--
+	}
+	for _, u := range g.in[id] {
+		removeFromList(&g.out[u], id)
+		g.nEdges--
+	}
+	g.out[id] = nil
+	g.in[id] = nil
+	g.alive[id] = false
+	g.nAlive--
+	g.version++
+	return nil
+}
+
+// Out returns the successors of id. The returned slice is owned by the
+// graph and must not be mutated; it is invalidated by mutations.
+func (g *Graph) Out(id NodeID) []NodeID {
+	if !g.Has(id) {
+		return nil
+	}
+	return g.out[id]
+}
+
+// In returns the predecessors of id under the same aliasing rules as Out.
+func (g *Graph) In(id NodeID) []NodeID {
+	if !g.Has(id) {
+		return nil
+	}
+	return g.in[id]
+}
+
+// OutDegree returns the number of successors of id.
+func (g *Graph) OutDegree(id NodeID) int { return len(g.Out(id)) }
+
+// InDegree returns the number of predecessors of id.
+func (g *Graph) InDegree(id NodeID) int { return len(g.In(id)) }
+
+// Nodes returns the ids of all live nodes in increasing order.
+func (g *Graph) Nodes() []NodeID {
+	ids := make([]NodeID, 0, g.nAlive)
+	for i := range g.nodes {
+		if g.alive[i] {
+			ids = append(ids, NodeID(i))
+		}
+	}
+	return ids
+}
+
+// ForEachNode calls fn for every live node in increasing id order.
+func (g *Graph) ForEachNode(fn func(Node)) {
+	for i := range g.nodes {
+		if g.alive[i] {
+			fn(g.nodes[i])
+		}
+	}
+}
+
+// Edges returns all live edges; order is deterministic given the mutation
+// history (by source id, then insertion order).
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.nEdges)
+	for i := range g.nodes {
+		if !g.alive[i] {
+			continue
+		}
+		for _, v := range g.out[i] {
+			es = append(es, Edge{From: NodeID(i), To: v})
+		}
+	}
+	return es
+}
+
+// ForEachEdge calls fn for every live edge.
+func (g *Graph) ForEachEdge(fn func(Edge)) {
+	for i := range g.nodes {
+		if !g.alive[i] {
+			continue
+		}
+		for _, v := range g.out[i] {
+			fn(Edge{From: NodeID(i), To: v})
+		}
+	}
+}
+
+// Clone returns a deep copy of the graph (attributes included). The clone
+// starts at version 0.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes:  make([]Node, len(g.nodes)),
+		alive:  make([]bool, len(g.alive)),
+		out:    make([][]NodeID, len(g.out)),
+		in:     make([][]NodeID, len(g.in)),
+		nEdges: g.nEdges,
+		nAlive: g.nAlive,
+	}
+	copy(c.alive, g.alive)
+	for i, n := range g.nodes {
+		n.Attrs = n.Attrs.Clone()
+		c.nodes[i] = n
+	}
+	for i := range g.out {
+		if len(g.out[i]) > 0 {
+			c.out[i] = append([]NodeID(nil), g.out[i]...)
+		}
+		if len(g.in[i]) > 0 {
+			c.in[i] = append([]NodeID(nil), g.in[i]...)
+		}
+	}
+	return c
+}
+
+// Equal reports whether two graphs have identical live node sets (same ids,
+// labels, attributes) and identical edge sets. It is insensitive to
+// adjacency ordering.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.nAlive != h.nAlive || g.nEdges != h.nEdges {
+		return false
+	}
+	max := len(g.nodes)
+	if len(h.nodes) > max {
+		max = len(h.nodes)
+	}
+	for i := 0; i < max; i++ {
+		ga := i < len(g.nodes) && g.alive[i]
+		ha := i < len(h.nodes) && h.alive[i]
+		if ga != ha {
+			return false
+		}
+		if !ga {
+			continue
+		}
+		gn, hn := g.nodes[i], h.nodes[i]
+		if gn.Label != hn.Label || !gn.Attrs.Equal(hn.Attrs) {
+			return false
+		}
+		if len(g.out[i]) != len(h.out[i]) {
+			return false
+		}
+		seen := make(map[NodeID]bool, len(g.out[i]))
+		for _, v := range g.out[i] {
+			seen[v] = true
+		}
+		for _, v := range h.out[i] {
+			if !seen[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Stats summarizes a graph for logging and experiment reports.
+type Stats struct {
+	Nodes     int
+	Edges     int
+	MaxOutDeg int
+	MaxInDeg  int
+	Labels    map[string]int
+}
+
+// ComputeStats walks the graph once and returns summary statistics.
+func (g *Graph) ComputeStats() Stats {
+	st := Stats{Nodes: g.nAlive, Edges: g.nEdges, Labels: map[string]int{}}
+	for i := range g.nodes {
+		if !g.alive[i] {
+			continue
+		}
+		st.Labels[g.nodes[i].Label]++
+		if d := len(g.out[i]); d > st.MaxOutDeg {
+			st.MaxOutDeg = d
+		}
+		if d := len(g.in[i]); d > st.MaxInDeg {
+			st.MaxInDeg = d
+		}
+	}
+	return st
+}
+
+// String renders a short description, e.g. "graph(n=9, m=12)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d)", g.nAlive, g.nEdges)
+}

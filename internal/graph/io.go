@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// jsonValue is the wire form of a Value.
+type jsonValue struct {
+	Kind string  `json:"kind"`
+	S    string  `json:"s,omitempty"`
+	I    int64   `json:"i,omitempty"`
+	F    float64 `json:"f,omitempty"`
+	B    bool    `json:"b,omitempty"`
+}
+
+func toJSONValue(v Value) jsonValue {
+	switch v.Kind() {
+	case KindString:
+		return jsonValue{Kind: "string", S: v.Str()}
+	case KindInt:
+		return jsonValue{Kind: "int", I: v.IntVal()}
+	case KindFloat:
+		return jsonValue{Kind: "float", F: v.FloatVal()}
+	case KindBool:
+		return jsonValue{Kind: "bool", B: v.BoolVal()}
+	default:
+		return jsonValue{Kind: "invalid"}
+	}
+}
+
+func fromJSONValue(jv jsonValue) (Value, error) {
+	switch jv.Kind {
+	case "string":
+		return String(jv.S), nil
+	case "int":
+		return Int(jv.I), nil
+	case "float":
+		return Float(jv.F), nil
+	case "bool":
+		return Bool(jv.B), nil
+	default:
+		return Value{}, fmt.Errorf("graph: unknown value kind %q", jv.Kind)
+	}
+}
+
+// MarshalJSON encodes the value with an explicit kind discriminator.
+func (v Value) MarshalJSON() ([]byte, error) {
+	return json.Marshal(toJSONValue(v))
+}
+
+// UnmarshalJSON decodes a value written by MarshalJSON.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var jv jsonValue
+	if err := json.Unmarshal(data, &jv); err != nil {
+		return err
+	}
+	decoded, err := fromJSONValue(jv)
+	if err != nil {
+		return err
+	}
+	*v = decoded
+	return nil
+}
+
+// jsonNode is the wire form of a Node.
+type jsonNode struct {
+	ID    NodeID               `json:"id"`
+	Label string               `json:"label"`
+	Attrs map[string]jsonValue `json:"attrs,omitempty"`
+}
+
+// jsonGraph is the wire form of a Graph. Edges are [from, to] pairs to keep
+// large graph files compact.
+type jsonGraph struct {
+	Nodes []jsonNode  `json:"nodes"`
+	Edges [][2]NodeID `json:"edges"`
+}
+
+// MarshalJSON encodes the graph. Only live nodes and edges are written;
+// tombstoned ids are compacted away, so ids may be renumbered on reload.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Nodes: make([]jsonNode, 0, g.NumNodes()), Edges: make([][2]NodeID, 0, g.NumEdges())}
+	remap := make([]NodeID, g.MaxID())
+	next := NodeID(0)
+	g.ForEachNode(func(n Node) {
+		remap[n.ID] = next
+		jn := jsonNode{ID: next, Label: n.Label}
+		if len(n.Attrs) > 0 {
+			jn.Attrs = make(map[string]jsonValue, len(n.Attrs))
+			for k, v := range n.Attrs {
+				jn.Attrs[k] = toJSONValue(v)
+			}
+		}
+		jg.Nodes = append(jg.Nodes, jn)
+		next++
+	})
+	g.ForEachEdge(func(e Edge) {
+		jg.Edges = append(jg.Edges, [2]NodeID{remap[e.From], remap[e.To]})
+	})
+	sort.Slice(jg.Edges, func(i, j int) bool {
+		if jg.Edges[i][0] != jg.Edges[j][0] {
+			return jg.Edges[i][0] < jg.Edges[j][0]
+		}
+		return jg.Edges[i][1] < jg.Edges[j][1]
+	})
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes a graph previously written by MarshalJSON. Node ids
+// in the file must be dense and in order (the encoder guarantees this).
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("graph: decode: %w", err)
+	}
+	fresh := New(len(jg.Nodes))
+	for i, jn := range jg.Nodes {
+		if jn.ID != NodeID(i) {
+			return fmt.Errorf("graph: decode: node ids must be dense, got %d at index %d", jn.ID, i)
+		}
+		var attrs Attrs
+		if len(jn.Attrs) > 0 {
+			attrs = make(Attrs, len(jn.Attrs))
+			for k, jv := range jn.Attrs {
+				v, err := fromJSONValue(jv)
+				if err != nil {
+					return fmt.Errorf("graph: decode node %d attr %q: %w", jn.ID, k, err)
+				}
+				attrs[k] = v
+			}
+		}
+		fresh.AddNode(jn.Label, attrs)
+	}
+	for _, e := range jg.Edges {
+		if err := fresh.AddEdge(e[0], e[1]); err != nil {
+			return fmt.Errorf("graph: decode edge (%d,%d): %w", e[0], e[1], err)
+		}
+	}
+	*g = *fresh
+	return nil
+}
+
+// WriteJSON streams the graph to w in the JSON format.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	data, err := g.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadJSON parses a graph from r.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	g := New(0)
+	if err := g.UnmarshalJSON(data); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := New(3)
+	a := g.AddNode("SA", Attrs{"name": String("Bob"), "exp": Int(7)})
+	b := g.AddNode("SD", Attrs{"name": String("Dan"), "score": Float(0.5)})
+	c := g.AddNode("ST", Attrs{"active": Bool(true)})
+	for _, e := range [][2]NodeID{{a, b}, {b, c}, {a, c}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !g.Equal(back) {
+		t.Error("round-trip changed the graph")
+	}
+}
+
+func TestJSONCompactsTombstones(t *testing.T) {
+	g := New(3)
+	a := g.AddNode("A", nil)
+	b := g.AddNode("B", nil)
+	c := g.AddNode("C", nil)
+	if err := g.AddEdge(a, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveNode(b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := New(0)
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatalf("UnmarshalJSON: %v", err)
+	}
+	if back.NumNodes() != 2 || back.NumEdges() != 1 {
+		t.Errorf("(n,m) = (%d,%d), want (2,1)", back.NumNodes(), back.NumEdges())
+	}
+	// Labels survive renumbering.
+	labels := map[string]bool{}
+	back.ForEachNode(func(n Node) { labels[n.Label] = true })
+	if !labels["A"] || !labels["C"] || labels["B"] {
+		t.Errorf("labels after compaction: %v", labels)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json at all",
+		`{"nodes":[{"id":5,"label":"X"}],"edges":[]}`,                                 // non-dense ids
+		`{"nodes":[{"id":0,"label":"X","attrs":{"k":{"kind":"frob"}}}],"edges":[]}`,   // bad kind
+		`{"nodes":[{"id":0,"label":"X"}],"edges":[[0,9]]}`,                            // edge to missing node
+		`{"nodes":[{"id":0,"label":"X"},{"id":1,"label":"Y"}],"edges":[[0,1],[0,1]]}`, // dup edge
+	}
+	for _, c := range cases {
+		g := New(0)
+		if err := g.UnmarshalJSON([]byte(c)); err == nil {
+			t.Errorf("UnmarshalJSON accepted %q", c)
+		}
+	}
+}
+
+func TestReadJSONPropagatesReaderErrors(t *testing.T) {
+	r := strings.NewReader(`{"nodes": [`)
+	if _, err := ReadJSON(r); err == nil {
+		t.Error("ReadJSON accepted truncated input")
+	}
+}
+
+// Property: marshal/unmarshal round-trips random graphs.
+func TestQuickJSONRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 12, 40)
+		// Sprinkle attributes.
+		for _, id := range g.Nodes() {
+			if r.Intn(2) == 0 {
+				_ = g.SetAttr(id, "exp", Int(int64(r.Intn(10))))
+			}
+		}
+		data, err := g.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		back := New(0)
+		if err := back.UnmarshalJSON(data); err != nil {
+			return false
+		}
+		return g.Equal(back)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

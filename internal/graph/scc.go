@@ -1,0 +1,181 @@
+package graph
+
+// SCCs computes the strongly connected components of the graph with an
+// iterative Tarjan algorithm (recursion would overflow on deep generated
+// graphs). It returns the component index of every node (dense slice of
+// length MaxID, -1 for tombstones) and the number of components. Component
+// indices are in reverse topological order of the condensation: every edge
+// between distinct components goes from a higher index to a lower one.
+func (g *Graph) SCCs() (comp []int, n int) {
+	maxID := g.MaxID()
+	comp = make([]int, maxID)
+	index := make([]int, maxID)
+	low := make([]int, maxID)
+	onStack := make([]bool, maxID)
+	for i := range comp {
+		comp[i] = -1
+		index[i] = -1
+	}
+	var stack []NodeID
+	next := 0
+
+	type frame struct {
+		v  NodeID
+		ei int // next out-edge index to explore
+	}
+	var callStack []frame
+
+	for root := 0; root < maxID; root++ {
+		if !g.alive[root] || index[root] != -1 {
+			continue
+		}
+		callStack = append(callStack[:0], frame{v: NodeID(root)})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, NodeID(root))
+		onStack[root] = true
+
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.ei < len(g.out[f.v]) {
+				w := g.out[f.v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Finished v: pop component if v is a root.
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := &callStack[len(callStack)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = n
+					if w == v {
+						break
+					}
+				}
+				n++
+			}
+		}
+	}
+	return comp, n
+}
+
+// Condensation is the DAG of strongly connected components together with a
+// transitive-closure bitmap, used to answer unbounded ("*") pattern-edge
+// constraints: v reaches v' iff comp(v) reaches comp(v').
+type Condensation struct {
+	Comp    []int      // node id -> component index (-1 for tombstones)
+	NumComp int        // number of components
+	Members [][]NodeID // component -> member nodes
+	adj     [][]int    // component DAG adjacency (deduplicated)
+	reach   []*Bitset  // component -> set of reachable components (incl. self)
+	cyclic  []bool     // component contains a cycle (>1 member or self-loop)
+}
+
+// Condense builds the condensation and its reachability closure. The
+// closure costs O(C^2/64 + E) and is built once per graph version, then
+// shared by all unbounded-edge queries.
+func (g *Graph) Condense() *Condensation {
+	comp, n := g.SCCs()
+	c := &Condensation{Comp: comp, NumComp: n}
+	c.Members = make([][]NodeID, n)
+	for i := range comp {
+		if comp[i] >= 0 {
+			c.Members[comp[i]] = append(c.Members[comp[i]], NodeID(i))
+		}
+	}
+	// Build deduplicated component DAG, tracking which components contain
+	// cycles (multi-member components, or singletons with a self-loop).
+	c.adj = make([][]int, n)
+	c.cyclic = make([]bool, n)
+	for ci, ms := range c.Members {
+		if len(ms) > 1 {
+			c.cyclic[ci] = true
+		}
+	}
+	seen := make(map[int64]bool)
+	g.ForEachEdge(func(e Edge) {
+		cu, cv := comp[e.From], comp[e.To]
+		if cu == cv {
+			if e.From == e.To {
+				c.cyclic[cu] = true
+			}
+			return
+		}
+		key := int64(cu)<<32 | int64(uint32(cv))
+		if !seen[key] {
+			seen[key] = true
+			c.adj[cu] = append(c.adj[cu], cv)
+		}
+	})
+	// Components are numbered in reverse topological order (all DAG edges go
+	// from higher to lower index), so a single ascending pass computes the
+	// full closure: by the time we process cu, every successor's reach set
+	// is final.
+	c.reach = make([]*Bitset, n)
+	for cu := 0; cu < n; cu++ {
+		r := NewBitset(n)
+		r.Set(NodeID(cu))
+		for _, cv := range c.adj[cu] {
+			r.Union(c.reach[cv])
+		}
+		c.reach[cu] = r
+	}
+	return c
+}
+
+// Reaches reports whether v is reachable from u via a nonempty path, using
+// the precomputed closure. Nodes in the same nontrivial SCC reach each
+// other; a node reaches itself only if it lies on a cycle.
+func (c *Condensation) Reaches(u, v NodeID) bool {
+	cu, cv := c.Comp[u], c.Comp[v]
+	if cu < 0 || cv < 0 {
+		return false
+	}
+	if cu == cv {
+		// Same component: a nonempty path exists iff the component contains
+		// a cycle, or the endpoints differ within a (necessarily cyclic)
+		// multi-member component.
+		return c.cyclic[cu] || u != v
+	}
+	return c.reach[cu].Has(NodeID(cv))
+}
+
+// ReachableFrom returns the set of nodes reachable from u via nonempty
+// paths as a bitset over node ids.
+func (c *Condensation) ReachableFrom(u NodeID, maxID int) *Bitset {
+	out := NewBitset(maxID)
+	cu := c.Comp[u]
+	if cu < 0 {
+		return out
+	}
+	c.reach[cu].ForEach(func(cv NodeID) {
+		for _, m := range c.Members[cv] {
+			out.Set(m)
+		}
+	})
+	if !c.cyclic[cu] {
+		// u reaches itself only via a cycle.
+		out.Clear(u)
+	}
+	return out
+}

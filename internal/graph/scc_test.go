@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSCCsOnTwoCycles(t *testing.T) {
+	// a<->b (cycle), c<->d (cycle), b->c bridge.
+	g := New(4)
+	a := g.AddNode("N", nil)
+	b := g.AddNode("N", nil)
+	c := g.AddNode("N", nil)
+	d := g.AddNode("N", nil)
+	for _, e := range [][2]NodeID{{a, b}, {b, a}, {c, d}, {d, c}, {b, c}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	comp, n := g.SCCs()
+	if n != 2 {
+		t.Fatalf("got %d components, want 2", n)
+	}
+	if comp[a] != comp[b] || comp[c] != comp[d] || comp[a] == comp[c] {
+		t.Errorf("component assignment wrong: %v", comp)
+	}
+	// Reverse topological numbering: the edge b->c crosses components, so
+	// comp[b] > comp[c].
+	if comp[b] <= comp[c] {
+		t.Errorf("expected reverse topological order, got comp[b]=%d comp[c]=%d", comp[b], comp[c])
+	}
+}
+
+func TestSCCsSingletonsOnDAG(t *testing.T) {
+	g := New(4)
+	var ids []NodeID
+	for i := 0; i < 4; i++ {
+		ids = append(ids, g.AddNode("N", nil))
+	}
+	for i := 0; i+1 < 4; i++ {
+		if err := g.AddEdge(ids[i], ids[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, n := g.SCCs()
+	if n != 4 {
+		t.Errorf("DAG chain should have 4 singleton SCCs, got %d", n)
+	}
+}
+
+func TestCondensationReachesMatchesBFS(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g := randomGraph(r, 30, 90)
+	c := g.Condense()
+	for _, u := range g.Nodes() {
+		for _, v := range g.Nodes() {
+			want := g.Distance(u, v) != Unreachable
+			if got := c.Reaches(u, v); got != want {
+				t.Fatalf("Reaches(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestCondensationReachableFrom(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := randomGraph(r, 25, 70)
+	c := g.Condense()
+	for _, u := range g.Nodes() {
+		set := c.ReachableFrom(u, g.MaxID())
+		for _, v := range g.Nodes() {
+			want := g.Distance(u, v) != Unreachable
+			if got := set.Has(v); got != want {
+				t.Fatalf("ReachableFrom(%d).Has(%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestCondensationSelfReachability(t *testing.T) {
+	g := New(3)
+	a := g.AddNode("N", nil)
+	b := g.AddNode("N", nil)
+	lone := g.AddNode("N", nil)
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(b, a); err != nil {
+		t.Fatal(err)
+	}
+	c := g.Condense()
+	if !c.Reaches(a, a) {
+		t.Error("node on 2-cycle should reach itself")
+	}
+	if c.Reaches(lone, lone) {
+		t.Error("isolated node must not reach itself (nonempty paths)")
+	}
+}
+
+func TestSCCsIgnoreTombstones(t *testing.T) {
+	g := New(3)
+	a := g.AddNode("N", nil)
+	b := g.AddNode("N", nil)
+	c := g.AddNode("N", nil)
+	for _, e := range [][2]NodeID{{a, b}, {b, c}, {c, a}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.RemoveNode(b); err != nil {
+		t.Fatal(err)
+	}
+	comp, n := g.SCCs()
+	if n != 2 {
+		t.Fatalf("after removal want 2 SCCs, got %d", n)
+	}
+	if comp[b] != -1 {
+		t.Errorf("tombstone got component %d, want -1", comp[b])
+	}
+}
+
+// Property: condensation reachability agrees with BFS reachability on
+// random graphs of varying density.
+func TestQuickCondensationReachability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick property test")
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	prop := func(seed int64, mRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 15
+		g := randomGraph(r, n, int(mRaw)%80)
+		c := g.Condense()
+		for _, u := range g.Nodes() {
+			for _, v := range g.Nodes() {
+				if c.Reaches(u, v) != (g.Distance(u, v) != Unreachable) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

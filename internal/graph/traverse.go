@@ -1,0 +1,214 @@
+package graph
+
+// Unreachable is the distance reported for unreachable node pairs.
+const Unreachable = -1
+
+// Ball holds the nodes within a bounded number of hops from a center, with
+// their exact hop distances. It is the core primitive of bounded simulation:
+// a pattern edge (u, u') with bound k requires, for a match v of u, some
+// match v' of u' inside the out-ball of v with radius k.
+type Ball struct {
+	Center NodeID
+	Radius int
+	// Dist maps each node within the radius (excluding the center unless it
+	// lies on a cycle back to itself, which simple graphs here exclude) to
+	// its hop distance 1..Radius from (or to) the center.
+	Dist map[NodeID]int
+}
+
+// Has reports whether id lies within the ball.
+func (b *Ball) Has(id NodeID) bool {
+	_, ok := b.Dist[id]
+	return ok
+}
+
+// OutBall returns the ball of nodes reachable from center via 1..radius
+// hops. A negative radius means unbounded (full reachability).
+func (g *Graph) OutBall(center NodeID, radius int) *Ball {
+	return g.ball(center, radius, false)
+}
+
+// InBall returns the ball of nodes that can reach center via 1..radius hops.
+// A negative radius means unbounded.
+func (g *Graph) InBall(center NodeID, radius int) *Ball {
+	return g.ball(center, radius, true)
+}
+
+func (g *Graph) ball(center NodeID, radius int, reverse bool) *Ball {
+	b := &Ball{Center: center, Radius: radius, Dist: map[NodeID]int{}}
+	if !g.Has(center) {
+		return b
+	}
+	type qe struct {
+		id NodeID
+		d  int
+	}
+	queue := []qe{{center, 0}}
+	visited := map[NodeID]bool{center: true}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if radius >= 0 && cur.d >= radius {
+			continue
+		}
+		var next []NodeID
+		if reverse {
+			next = g.in[cur.id]
+		} else {
+			next = g.out[cur.id]
+		}
+		for _, nb := range next {
+			if nb == center {
+				// Nonempty-path semantics: the center is inside its own
+				// ball when it lies on a cycle of length <= radius. Record
+				// the first (shortest) return but do not re-expand it.
+				if _, ok := b.Dist[center]; !ok {
+					b.Dist[center] = cur.d + 1
+				}
+				continue
+			}
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			b.Dist[nb] = cur.d + 1
+			queue = append(queue, qe{nb, cur.d + 1})
+		}
+	}
+	return b
+}
+
+// Distance returns the hop distance of the shortest nonempty path from u to
+// v, or Unreachable. Because paths must be nonempty, Distance(u, u) is the
+// length of the shortest cycle through u (or Unreachable on acyclic parts).
+func (g *Graph) Distance(u, v NodeID) int {
+	if !g.Has(u) || !g.Has(v) {
+		return Unreachable
+	}
+	type qe struct {
+		id NodeID
+		d  int
+	}
+	queue := []qe{{u, 0}}
+	visited := make(map[NodeID]bool, 16)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.out[cur.id] {
+			if nb == v {
+				return cur.d + 1
+			}
+			if !visited[nb] {
+				visited[nb] = true
+				queue = append(queue, qe{nb, cur.d + 1})
+			}
+		}
+	}
+	return Unreachable
+}
+
+// DistancesFrom runs a full BFS from src and returns a dense distance slice
+// indexed by NodeID (Unreachable where no path exists; 0 at src). The slice
+// has length g.MaxID().
+func (g *Graph) DistancesFrom(src NodeID) []int {
+	dist := make([]int, g.MaxID())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if !g.Has(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]NodeID, 0, 64)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.out[cur] {
+			if dist[nb] == Unreachable {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+// Reaches reports whether v is reachable from u via a nonempty path.
+func (g *Graph) Reaches(u, v NodeID) bool { return g.Distance(u, v) != Unreachable }
+
+// BFS visits nodes reachable from src (including src) in breadth-first
+// order, calling fn with each node and its depth. Returning false from fn
+// stops the traversal early.
+func (g *Graph) BFS(src NodeID, fn func(id NodeID, depth int) bool) {
+	if !g.Has(src) {
+		return
+	}
+	type qe struct {
+		id NodeID
+		d  int
+	}
+	visited := map[NodeID]bool{src: true}
+	queue := []qe{{src, 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if !fn(cur.id, cur.d) {
+			return
+		}
+		for _, nb := range g.out[cur.id] {
+			if !visited[nb] {
+				visited[nb] = true
+				queue = append(queue, qe{nb, cur.d + 1})
+			}
+		}
+	}
+}
+
+// ShortestPath returns one shortest nonempty path from u to v as a node
+// sequence starting at u and ending at v, or nil if unreachable. Used by the
+// result-graph drill-down (the GUI shows the collaboration chain behind each
+// weighted result edge).
+func (g *Graph) ShortestPath(u, v NodeID) []NodeID {
+	if !g.Has(u) || !g.Has(v) {
+		return nil
+	}
+	parent := map[NodeID]NodeID{}
+	queue := []NodeID{u}
+	visited := map[NodeID]bool{}
+	found := false
+search:
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.out[cur] {
+			if nb == v {
+				parent[v] = cur
+				found = true
+				break search
+			}
+			// Never re-enqueue u: paths are nonempty walks out of u, and
+			// revisiting the source cannot shorten any of them.
+			if !visited[nb] && nb != u {
+				visited[nb] = true
+				parent[nb] = cur
+				queue = append(queue, nb)
+			}
+		}
+	}
+	if !found {
+		return nil
+	}
+	// Walk the parent chain from v back to u, then reverse. When u == v the
+	// chain still terminates: parent entries for intermediate nodes lead
+	// back to the BFS root, which never receives a parent entry of its own.
+	rev := []NodeID{v}
+	for cur := parent[v]; cur != u; cur = parent[cur] {
+		rev = append(rev, cur)
+	}
+	rev = append(rev, u)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

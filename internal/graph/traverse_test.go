@@ -1,0 +1,219 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// buildChain returns a path graph v0 -> v1 -> ... -> v(n-1).
+func buildChain(t *testing.T, n int) (*Graph, []NodeID) {
+	t.Helper()
+	g := New(n)
+	ids := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = g.AddNode("N", nil)
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(ids[i], ids[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, ids
+}
+
+func TestDistanceOnChain(t *testing.T) {
+	g, ids := buildChain(t, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			want := j - i
+			if j <= i {
+				want = Unreachable
+			}
+			if got := g.Distance(ids[i], ids[j]); got != want {
+				t.Errorf("Distance(%d,%d) = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDistanceNonemptyOnCycle(t *testing.T) {
+	g := New(3)
+	a := g.AddNode("N", nil)
+	b := g.AddNode("N", nil)
+	c := g.AddNode("N", nil)
+	for _, e := range [][2]NodeID{{a, b}, {b, c}, {c, a}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nonempty-path semantics: a reaches itself around the 3-cycle.
+	if got := g.Distance(a, a); got != 3 {
+		t.Errorf("Distance(a,a) on 3-cycle = %d, want 3", got)
+	}
+}
+
+func TestOutBallRadii(t *testing.T) {
+	g, ids := buildChain(t, 6)
+	for r := 0; r <= 6; r++ {
+		b := g.OutBall(ids[0], r)
+		if len(b.Dist) != min(r, 5) {
+			t.Errorf("OutBall radius %d has %d nodes, want %d", r, len(b.Dist), min(r, 5))
+		}
+		for id, d := range b.Dist {
+			if d < 1 || d > r {
+				t.Errorf("OutBall radius %d contains %d at distance %d", r, id, d)
+			}
+		}
+	}
+	// Unbounded radius reaches everything downstream.
+	b := g.OutBall(ids[2], -1)
+	if len(b.Dist) != 3 {
+		t.Errorf("unbounded OutBall from v2 has %d nodes, want 3", len(b.Dist))
+	}
+}
+
+func TestInBallMirrorsOutBall(t *testing.T) {
+	g, ids := buildChain(t, 5)
+	in := g.InBall(ids[4], 2)
+	if len(in.Dist) != 2 {
+		t.Fatalf("InBall = %v, want 2 nodes", in.Dist)
+	}
+	if in.Dist[ids[3]] != 1 || in.Dist[ids[2]] != 2 {
+		t.Errorf("InBall distances wrong: %v", in.Dist)
+	}
+}
+
+func TestDistancesFromMatchesDistance(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(7)), 40, 120)
+	ids := g.Nodes()
+	src := ids[0]
+	dist := g.DistancesFrom(src)
+	for _, v := range ids {
+		want := g.Distance(src, v)
+		got := dist[v]
+		if v == src {
+			// DistancesFrom reports 0 at the source; Distance uses
+			// nonempty-path semantics. Both are documented.
+			if got != 0 {
+				t.Errorf("DistancesFrom[src] = %d, want 0", got)
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("DistancesFrom[%d] = %d, Distance = %d", v, got, want)
+		}
+	}
+}
+
+func TestShortestPathEndpoints(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(11)), 30, 90)
+	ids := g.Nodes()
+	for _, u := range ids[:10] {
+		for _, v := range ids[:10] {
+			d := g.Distance(u, v)
+			p := g.ShortestPath(u, v)
+			if d == Unreachable {
+				if p != nil {
+					t.Fatalf("ShortestPath(%d,%d) = %v for unreachable pair", u, v, p)
+				}
+				continue
+			}
+			if len(p) != d+1 {
+				t.Fatalf("ShortestPath(%d,%d) has %d nodes, want %d", u, v, len(p), d+1)
+			}
+			if p[0] != u || p[len(p)-1] != v {
+				t.Fatalf("ShortestPath(%d,%d) endpoints wrong: %v", u, v, p)
+			}
+			for i := 0; i+1 < len(p); i++ {
+				if !g.HasEdge(p[i], p[i+1]) {
+					t.Fatalf("ShortestPath(%d,%d) uses missing edge (%d,%d)", u, v, p[i], p[i+1])
+				}
+			}
+		}
+	}
+}
+
+func TestBFSVisitsEachNodeOnceInOrder(t *testing.T) {
+	g, ids := buildChain(t, 5)
+	var visited []NodeID
+	var depths []int
+	g.BFS(ids[0], func(id NodeID, d int) bool {
+		visited = append(visited, id)
+		depths = append(depths, d)
+		return true
+	})
+	if len(visited) != 5 {
+		t.Fatalf("BFS visited %d nodes, want 5", len(visited))
+	}
+	for i := range depths {
+		if depths[i] != i {
+			t.Errorf("BFS depth[%d] = %d, want %d", i, depths[i], i)
+		}
+	}
+}
+
+func TestBFSEarlyStop(t *testing.T) {
+	g, ids := buildChain(t, 5)
+	count := 0
+	g.BFS(ids[0], func(NodeID, int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("BFS visited %d nodes after early stop, want 2", count)
+	}
+}
+
+// randomGraph builds a random simple digraph with n nodes and up to m edges.
+func randomGraph(r *rand.Rand, n, m int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode("N", nil)
+	}
+	for i := 0; i < m; i++ {
+		u := NodeID(r.Intn(n))
+		v := NodeID(r.Intn(n))
+		if u != v {
+			_ = g.AddEdge(u, v) // duplicates rejected, fine
+		}
+	}
+	return g
+}
+
+// Property: for every node w in OutBall(v, k), Distance(v, w) equals the
+// recorded ball distance and is at most k.
+func TestQuickOutBallAgreesWithDistance(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	prop := func(seed int64, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomGraph(r, 20, 60)
+		k := int(kRaw%5) + 1
+		for _, v := range g.Nodes() {
+			ball := g.OutBall(v, k)
+			for w, d := range ball.Dist {
+				if d > k || g.Distance(v, w) != d {
+					return false
+				}
+			}
+			// Completeness: anything within k must be in the ball.
+			for _, w := range g.Nodes() {
+				d := g.Distance(v, w)
+				if d != Unreachable && d <= k && !ball.Has(w) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

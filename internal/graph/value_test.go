@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	tests := []struct {
+		v    Value
+		kind ValueKind
+		str  string
+	}{
+		{String("SA"), KindString, "SA"},
+		{Int(7), KindInt, "7"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+		{Value{}, KindInvalid, "<invalid>"},
+	}
+	for _, tc := range tests {
+		if tc.v.Kind() != tc.kind {
+			t.Errorf("%v Kind = %v, want %v", tc.v, tc.v.Kind(), tc.kind)
+		}
+		if tc.v.String() != tc.str {
+			t.Errorf("String() = %q, want %q", tc.v.String(), tc.str)
+		}
+	}
+}
+
+func TestValueEqualCrossKindNumeric(t *testing.T) {
+	if !Int(3).Equal(Float(3.0)) {
+		t.Error("Int(3) should equal Float(3.0)")
+	}
+	if Int(3).Equal(String("3")) {
+		t.Error("Int(3) must not equal String(\"3\")")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("Int(3) must not equal Float(3.5)")
+	}
+	if (Value{}).Equal(Value{}) {
+		t.Error("invalid values compare unequal to everything, including each other")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+		ok   bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Float(2.5), Int(2), 1, true},
+		{String("a"), String("b"), -1, true},
+		{String("b"), String("b"), 0, true},
+		{String("a"), Int(1), 0, false},
+		{Bool(true), Int(0), 1, true},
+		{Value{}, Int(1), 0, false},
+	}
+	for _, tc := range tests {
+		got, ok := tc.a.Compare(tc.b)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("Compare(%v,%v) = (%d,%v), want (%d,%v)", tc.a, tc.b, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Value
+	}{
+		{`"SA"`, String("SA")},
+		{`'x y'`, String("x y")},
+		{"42", Int(42)},
+		{"-3", Int(-3)},
+		{"2.5", Float(2.5)},
+		{"true", Bool(true)},
+		{"false", Bool(false)},
+		{"hello", String("hello")},
+	}
+	for _, tc := range tests {
+		got := ParseValue(tc.in)
+		if !got.Equal(tc.want) || got.Kind() != tc.want.Kind() {
+			t.Errorf("ParseValue(%q) = %v(%v), want %v(%v)", tc.in, got, got.Kind(), tc.want, tc.want.Kind())
+		}
+	}
+}
+
+func TestCanonDistinguishesKinds(t *testing.T) {
+	if Int(1).Canon() == String("1").Canon() {
+		t.Error("Canon must distinguish Int(1) from String(\"1\")")
+	}
+	if Bool(true).Canon() == String("true").Canon() {
+		t.Error("Canon must distinguish Bool from String")
+	}
+}
+
+func TestAttrsCloneAndEqual(t *testing.T) {
+	a := Attrs{"field": String("SA"), "exp": Int(7)}
+	c := a.Clone()
+	if !a.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c["exp"] = Int(3)
+	if a.Equal(c) {
+		t.Error("Equal ignored changed value")
+	}
+	if a["exp"].IntVal() != 7 {
+		t.Error("Clone was shallow")
+	}
+	var nilAttrs Attrs
+	if nilAttrs.Clone() != nil {
+		t.Error("Clone of nil should be nil")
+	}
+	if !nilAttrs.Equal(Attrs{}) {
+		t.Error("nil and empty attrs should be Equal")
+	}
+}
+
+func TestAttrsCanonDeterministic(t *testing.T) {
+	a := Attrs{"b": Int(1), "a": Int(2), "c": String("x")}
+	first := a.Canon()
+	for i := 0; i < 20; i++ {
+		if a.Canon() != first {
+			t.Fatal("Canon not deterministic across map iterations")
+		}
+	}
+	if (Attrs{}).Canon() != "{}" {
+		t.Errorf("empty Canon = %q", (Attrs{}).Canon())
+	}
+}
+
+// Property: Compare is antisymmetric for integer values.
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	prop := func(a, b int64) bool {
+		x, okX := Int(a).Compare(Int(b))
+		y, okY := Int(b).Compare(Int(a))
+		return okX && okY && x == -y
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ParseValue of a formatted int round-trips.
+func TestQuickParseIntRoundTrip(t *testing.T) {
+	prop := func(a int64) bool {
+		v := ParseValue(Int(a).String())
+		return v.Kind() == KindInt && v.IntVal() == a
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,327 @@
+package incremental
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"expfinder/internal/bsim"
+	"expfinder/internal/dataset"
+	"expfinder/internal/graph"
+	"expfinder/internal/pattern"
+	"expfinder/internal/testutil"
+)
+
+// TestPaperExample3 is the acceptance test for the paper's Example 3:
+// inserting e1 yields exactly ΔM = {(SD, Fred)}, discovered incrementally.
+func TestPaperExample3(t *testing.T) {
+	g, p := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	m := NewMatcher(g, q)
+
+	before := m.Relation()
+	if before.Size() != 7 {
+		t.Fatalf("initial relation size = %d, want 7", before.Size())
+	}
+
+	e1 := dataset.E1(p)
+	added, removed, err := m.Apply([]Update{Insert(e1.From, e1.To)})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	sd, _ := q.Lookup("SD")
+	if len(removed) != 0 {
+		t.Errorf("unexpected removals: %v", removed)
+	}
+	if len(added) != 1 || added[0].PNode != sd || added[0].Node != p.Fred {
+		t.Errorf("added = %v, want exactly (SD, Fred=%d)", added, p.Fred)
+	}
+	// And the maintained relation equals batch recomputation.
+	if !m.Relation().Equal(bsim.Compute(g, q)) {
+		t.Error("incremental relation diverged from batch recompute")
+	}
+}
+
+func TestDeletionRemovesMatches(t *testing.T) {
+	g, p := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	m := NewMatcher(g, q)
+
+	// Deleting Dan->Eva breaks Dan's SD->ST obligation (Dan no longer
+	// reaches Eva within 2).
+	added, removed, err := m.Apply([]Update{Delete(p.Dan, p.Eva)})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(added) != 0 {
+		t.Errorf("unexpected additions: %v", added)
+	}
+	sd, _ := q.Lookup("SD")
+	foundDan := false
+	for _, pr := range removed {
+		if pr.PNode == sd && pr.Node == p.Dan {
+			foundDan = true
+		}
+	}
+	if !foundDan {
+		t.Errorf("removed = %v, expected (SD, Dan)", removed)
+	}
+	if !m.Relation().Equal(bsim.Compute(g, q)) {
+		t.Error("incremental relation diverged from batch recompute")
+	}
+}
+
+func TestCascadingDeletion(t *testing.T) {
+	// Chain pattern A->B->C with bound 1 on a chain graph: deleting the
+	// b->c edge removes (C unaffected) B's match, which cascades to A.
+	g := graph.New(3)
+	a := g.AddNode("A", nil)
+	b := g.AddNode("B", nil)
+	c := g.AddNode("C", nil)
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(b, c); err != nil {
+		t.Fatal(err)
+	}
+	q, err := pattern.Parse("node A [label=A] output\nnode B [label=B]\nnode C [label=C]\nedge A -> B\nedge B -> C\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher(g, q)
+	if m.Relation().Size() != 3 {
+		t.Fatalf("initial size = %d, want 3", m.Relation().Size())
+	}
+	_, removed, err := m.Apply([]Update{Delete(b, c)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B loses its match and A cascades (normalized relation is empty).
+	if len(removed) != 2 {
+		t.Errorf("removed = %v, want cascade of 2 pairs", removed)
+	}
+	if !m.Relation().IsEmpty() {
+		t.Errorf("relation should be empty after cascade, got %v", m.Relation())
+	}
+	if !m.Relation().Equal(bsim.Compute(g, q)) {
+		t.Error("diverged from batch recompute")
+	}
+}
+
+func TestMutuallySupportingAdmission(t *testing.T) {
+	// Pattern X->Y (1), Y->X (1): matches need a 2-cycle. Start without the
+	// closing edge, then insert it: both pairs must enter together — a
+	// one-at-a-time admission check would deadlock and find neither.
+	g := graph.New(2)
+	x := g.AddNode("X", nil)
+	y := g.AddNode("Y", nil)
+	if err := g.AddEdge(x, y); err != nil {
+		t.Fatal(err)
+	}
+	q, err := pattern.Parse("node X [label=X] output\nnode Y [label=Y]\nedge X -> Y\nedge Y -> X\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher(g, q)
+	if !m.Relation().IsEmpty() {
+		t.Fatalf("initial relation should be empty, got %v", m.Relation())
+	}
+	added, _, err := m.Apply([]Update{Insert(y, x)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 2 {
+		t.Errorf("added = %v, want both (X,x) and (Y,y)", added)
+	}
+	if !m.Relation().Equal(bsim.Compute(g, q)) {
+		t.Error("diverged from batch recompute")
+	}
+}
+
+func TestApplyRejectsStaleMatcher(t *testing.T) {
+	g, p := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	m := NewMatcher(g, q)
+	// Mutate the graph behind the matcher's back.
+	if err := g.SetAttr(p.Bob, "experience", graph.Int(9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Apply([]Update{Insert(p.Fred, p.Pat)}); !errors.Is(err, ErrStale) {
+		t.Errorf("Apply on stale matcher err = %v, want ErrStale", err)
+	}
+}
+
+func TestApplyRejectsUnknownNodes(t *testing.T) {
+	g, _ := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	m := NewMatcher(g, q)
+	if _, _, err := m.Apply([]Update{Insert(0, 99)}); !errors.Is(err, graph.ErrNoNode) {
+		t.Errorf("err = %v, want ErrNoNode", err)
+	}
+}
+
+func TestInsertThenDeleteRoundTrips(t *testing.T) {
+	g, p := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	m := NewMatcher(g, q)
+	before := m.Relation()
+
+	e1 := dataset.E1(p)
+	if _, _, err := m.Apply([]Update{Insert(e1.From, e1.To)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Apply([]Update{Delete(e1.From, e1.To)}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Relation().Equal(before) {
+		t.Error("insert+delete did not restore the original relation")
+	}
+}
+
+func TestBatchMixedUpdates(t *testing.T) {
+	g, p := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	m := NewMatcher(g, q)
+	e1 := dataset.E1(p)
+	// One batch: admit Fred and evict Dan.
+	_, _, err := m.Apply([]Update{
+		Insert(e1.From, e1.To),
+		Delete(p.Dan, p.Eva),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Relation().Equal(bsim.Compute(g, q)) {
+		t.Error("batch apply diverged from batch recompute")
+	}
+	sd, _ := q.Lookup("SD")
+	r := m.Relation()
+	if !r.Has(sd, p.Fred) || r.Has(sd, p.Dan) {
+		t.Errorf("SD matches = %v, want Fred in and Dan out", r.MatchesOf(sd))
+	}
+}
+
+// The central correctness property: after any random sequence of unit
+// updates, the incrementally maintained relation equals batch recompute.
+func TestQuickIncrementalEqualsBatchUnit(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(r, 18, 40)
+		q := testutil.RandomPattern(r, 1+r.Intn(3))
+		shadow := g.Clone()
+		m := NewMatcher(shadow, q)
+		ops := testutil.RandomOps(r, g, 15) // applied to g as generated
+		for _, op := range ops {
+			if _, _, err := m.Apply([]Update{{Insert: op.Insert, From: op.From, To: op.To}}); err != nil {
+				return false
+			}
+			// Compare against scratch recomputation on the true graph.
+			if !m.Relation().Equal(bsim.Compute(shadow, q)) {
+				return false
+			}
+		}
+		return g.Equal(shadow)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Batch variant: all updates in one Apply call.
+func TestQuickIncrementalEqualsBatchBulk(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(r, 18, 40)
+		q := testutil.RandomPattern(r, 1+r.Intn(3))
+		shadow := g.Clone()
+		m := NewMatcher(shadow, q)
+		ops := testutil.RandomOps(r, g, 20)
+		batch := make([]Update, len(ops))
+		for i, op := range ops {
+			batch[i] = Update{Insert: op.Insert, From: op.From, To: op.To}
+		}
+		if _, _, err := m.Apply(batch); err != nil {
+			return false
+		}
+		return m.Relation().Equal(bsim.Compute(shadow, q)) && g.Equal(shadow)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Unbounded pattern edges exercise the full-reachability code paths.
+func TestQuickIncrementalUnboundedEdges(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(r, 15, 30)
+		q := pattern.New()
+		a := q.MustAddNode("A", pattern.Predicate{}.And(pattern.LabelAttr, pattern.OpEq, graph.String("SA")))
+		b := q.MustAddNode("B", pattern.Predicate{}.And(pattern.LabelAttr, pattern.OpEq, graph.String("SD")))
+		c := q.MustAddNode("C", pattern.Predicate{}.And(pattern.LabelAttr, pattern.OpEq, graph.String("ST")))
+		q.MustAddEdge(a, b, pattern.Unbounded)
+		q.MustAddEdge(b, c, 2)
+		if err := q.SetOutput(a); err != nil {
+			panic(err)
+		}
+		shadow := g.Clone()
+		m := NewMatcher(shadow, q)
+		ops := testutil.RandomOps(r, g, 12)
+		batch := make([]Update, len(ops))
+		for i, op := range ops {
+			batch[i] = Update{Insert: op.Insert, From: op.From, To: op.To}
+		}
+		if _, _, err := m.Apply(batch); err != nil {
+			return false
+		}
+		return m.Relation().Equal(bsim.Compute(shadow, q))
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeltasAreExact(t *testing.T) {
+	// added/removed must exactly describe the un-normalized set change.
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		g := testutil.RandomGraph(r, 15, 35)
+		q := testutil.RandomPattern(r, 2)
+		m := NewMatcher(g, q)
+		// Snapshot un-normalized sets via satisfies-independent copy.
+		type pr struct {
+			u pattern.NodeIdx
+			v graph.NodeID
+		}
+		snapshot := map[pr]bool{}
+		for u := 0; u < q.NumNodes(); u++ {
+			for _, v := range m.Relation().MatchesOf(pattern.NodeIdx(u)) {
+				snapshot[pr{pattern.NodeIdx(u), v}] = true
+			}
+		}
+		gg := g // matcher owns g now
+		ops := testutil.RandomOps(r, gg.Clone(), 6)
+		batch := make([]Update, len(ops))
+		for i, op := range ops {
+			batch[i] = Update{Insert: op.Insert, From: op.From, To: op.To}
+		}
+		added, removed, err := m.Apply(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range added {
+			if snapshot[pr{p.PNode, p.Node}] {
+				t.Errorf("trial %d: pair %v reported added but pre-existing", trial, p)
+			}
+		}
+		for _, p := range removed {
+			if m.Relation().Has(p.PNode, p.Node) {
+				t.Errorf("trial %d: pair %v reported removed but still present", trial, p)
+			}
+		}
+	}
+}

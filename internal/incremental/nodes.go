@@ -1,0 +1,189 @@
+package incremental
+
+import (
+	"expfinder/internal/graph"
+	"expfinder/internal/match"
+	"expfinder/internal/pattern"
+)
+
+// Node-level maintenance. Edge updates are the common case (Apply/Sync);
+// the engine additionally keeps matchers alive across node insertions,
+// node removals and attribute changes instead of re-registering:
+//
+//   - a freshly added node has no edges, so it can only match pattern
+//     nodes whose obligations it satisfies vacuously, and nothing else can
+//     gain or lose support from it (no cascades);
+//   - a node is removed only after its incident edges were removed and
+//     synced, so clearing its candidacy cannot cascade either;
+//   - an attribute change can both disqualify (removal refinement) and
+//     qualify (admission closure) the node.
+
+// RefreshVersion re-synchronizes the matcher's staleness check with the
+// graph after coordinated mutations the matcher was already told about
+// through its Sync* methods (the engine's node-removal sequence ends with
+// a graph mutation the matcher does not see individually).
+func (m *Matcher) RefreshVersion() { m.version = m.g.Version() }
+
+// ensureCap grows the matcher's dense per-node structures after the graph
+// allocated new node ids.
+func (m *Matcher) ensureCap() {
+	maxID := m.g.MaxID()
+	if maxID <= m.maxID {
+		return
+	}
+	for u := range m.cand {
+		grown := make([]bool, maxID)
+		copy(grown, m.cand[u])
+		m.cand[u] = grown
+	}
+	mark := make([]uint32, maxID)
+	copy(mark, m.mark)
+	m.mark = mark
+	m.maxID = maxID
+}
+
+// SyncNodeAdded registers a node that was just added to the graph (with no
+// incident edges yet). It returns the match pairs gained.
+func (m *Matcher) SyncNodeAdded(id graph.NodeID) []match.Pair {
+	m.ensureCap()
+	n, ok := m.g.Node(id)
+	if !ok {
+		return nil
+	}
+	var added []match.Pair
+	for u := range m.cand {
+		uIdx := pattern.NodeIdx(u)
+		if m.q.Node(uIdx).Pred.Eval(n) && m.satisfies(uIdx, id) {
+			m.cand[u][id] = true
+			added = append(added, match.Pair{PNode: uIdx, Node: id})
+		}
+	}
+	m.version = m.g.Version()
+	return added
+}
+
+// SyncNodeRemoving clears a node's candidacy ahead of its removal from the
+// graph. The caller must have removed and synced the node's incident edges
+// first (the engine does); at that point nothing else depends on the node,
+// so no cascade is needed. It returns the match pairs lost.
+func (m *Matcher) SyncNodeRemoving(id graph.NodeID) []match.Pair {
+	var removed []match.Pair
+	if int(id) >= m.maxID {
+		return nil
+	}
+	for u := range m.cand {
+		if m.cand[u][id] {
+			m.cand[u][id] = false
+			removed = append(removed, match.Pair{PNode: pattern.NodeIdx(u), Node: id})
+		}
+	}
+	m.version = m.g.Version()
+	return removed
+}
+
+// SyncAttrChanged re-evaluates a node whose attributes changed: candidacy
+// it loses cascades through the removal refinement; candidacy it might gain
+// enters through the admission closure (its own and, transitively, its
+// upstream neighbourhood's).
+func (m *Matcher) SyncAttrChanged(id graph.NodeID) (added, removed []match.Pair, err error) {
+	m.ensureCap()
+	n, ok := m.g.Node(id)
+	if !ok {
+		return nil, nil, graph.ErrNoNode
+	}
+	// Disqualifications: pairs whose predicate no longer holds.
+	var seeds []pair
+	for u := range m.cand {
+		uIdx := pattern.NodeIdx(u)
+		if m.cand[u][id] && !m.q.Node(uIdx).Pred.Eval(n) {
+			m.cand[u][id] = false
+			removed = append(removed, match.Pair{PNode: uIdx, Node: id})
+			// Dependents of (u, id) must be rechecked, exactly as in the
+			// edge-deletion path.
+			for _, e := range m.inEdges[u] {
+				src := e.From
+				if e.Bound == 1 {
+					for _, w := range m.g.In(id) {
+						if m.cand[src][w] {
+							seeds = append(seeds, pair{src, w})
+						}
+					}
+					continue
+				}
+				m.visitBall(id, e.Bound, true, func(w graph.NodeID, _ int) bool {
+					if m.cand[src][w] {
+						seeds = append(seeds, pair{src, w})
+					}
+					return true
+				})
+			}
+		}
+	}
+	for _, p := range m.refine(seeds) {
+		removed = append(removed, match.Pair{PNode: p.u, Node: p.v})
+	}
+
+	// Qualifications: the node may newly satisfy predicates. Seed the
+	// admission closure directly with the node for every pattern position;
+	// the closure handles upstream enablement.
+	tentative := m.admissionSeedNode(id)
+	stripped := m.refine(tentative)
+	strippedSet := make(map[pair]bool, len(stripped))
+	for _, p := range stripped {
+		strippedSet[p] = true
+	}
+	for _, p := range tentative {
+		if m.cand[p.u][p.v] && !strippedSet[p] {
+			added = append(added, match.Pair{PNode: p.u, Node: p.v})
+		}
+	}
+	m.version = m.g.Version()
+	return added, removed, nil
+}
+
+// admissionSeedNode runs the admission closure seeded with one node across
+// all pattern positions (used for attribute changes, where the node's
+// eligibility itself changed rather than the graph topology).
+func (m *Matcher) admissionSeedNode(id graph.NodeID) []pair {
+	var tentative []pair
+	queued := map[pair]bool{}
+	var queue []pair
+	consider := func(u pattern.NodeIdx, v graph.NodeID) {
+		if m.cand[u][v] {
+			return
+		}
+		p := pair{u, v}
+		if queued[p] {
+			return
+		}
+		n, ok := m.g.Node(v)
+		if !ok || !m.q.Node(u).Pred.Eval(n) {
+			return
+		}
+		queued[p] = true
+		queue = append(queue, p)
+	}
+	for u := range m.cand {
+		consider(pattern.NodeIdx(u), id)
+	}
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		m.cand[p.u][p.v] = true
+		tentative = append(tentative, p)
+		for _, e := range m.inEdges[p.u] {
+			from := e.From
+			if e.Bound == 1 {
+				for _, w := range m.g.In(p.v) {
+					consider(from, w)
+				}
+				continue
+			}
+			m.visitBall(p.v, e.Bound, true, func(w graph.NodeID, _ int) bool {
+				consider(from, w)
+				return true
+			})
+		}
+	}
+	return tentative
+}

@@ -1,0 +1,210 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"expfinder/internal/bsim"
+	"expfinder/internal/dataset"
+	"expfinder/internal/graph"
+	"expfinder/internal/testutil"
+)
+
+func TestSyncNodeAdded(t *testing.T) {
+	g, _ := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	m := NewMatcher(g, q)
+
+	// A node matching no predicate changes nothing.
+	dud := g.AddNode("GD", graph.Attrs{"experience": graph.Int(1)})
+	if added := m.SyncNodeAdded(dud); len(added) != 0 {
+		t.Errorf("dud addition matched: %v", added)
+	}
+	// A predicate-satisfying node with obligations cannot match while
+	// isolated (the paper query's SA needs downstream collaborators).
+	isolatedSA := g.AddNode("SA", graph.Attrs{"experience": graph.Int(9)})
+	if added := m.SyncNodeAdded(isolatedSA); len(added) != 0 {
+		t.Errorf("isolated SA matched: %v", added)
+	}
+	if !m.Relation().Equal(bsim.Compute(g, q)) {
+		t.Error("diverged from batch recompute after node additions")
+	}
+}
+
+func TestSyncNodeAddedWithEdgesViaApply(t *testing.T) {
+	// Adding a node and then wiring it with edge updates must land exactly
+	// where batch recomputation does.
+	g, p := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	m := NewMatcher(g, q)
+	// A senior SA who takes over Bob's team.
+	newSA := g.AddNode("SA", graph.Attrs{"experience": graph.Int(8)})
+	m.SyncNodeAdded(newSA)
+	_, _, err := m.Apply([]Update{
+		Insert(newSA, p.Dan), Insert(newSA, p.Bill),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// newSA: SD within 2 (Dan), ST within... SA->ST isn't in Q; SA->BA
+	// bound 3 via Bill->Pat->Jean = 3.
+	if !m.Relation().Equal(bsim.Compute(g, q)) {
+		t.Error("diverged from batch recompute")
+	}
+	sa, _ := q.Lookup("SA")
+	if !m.Relation().Has(sa, newSA) {
+		t.Error("wired-in SA not matched")
+	}
+}
+
+func TestSyncNodeRemoving(t *testing.T) {
+	g, p := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	m := NewMatcher(g, q)
+	// Engine-style removal of Eva: detach edges first, then clear.
+	var ops []Update
+	for _, v := range g.Out(p.Eva) {
+		ops = append(ops, Delete(p.Eva, v))
+	}
+	for _, u := range g.In(p.Eva) {
+		ops = append(ops, Delete(u, p.Eva))
+	}
+	if _, _, err := m.Apply(ops); err != nil {
+		t.Fatal(err)
+	}
+	m.SyncNodeRemoving(p.Eva)
+	if err := g.RemoveNode(p.Eva); err != nil {
+		t.Fatal(err)
+	}
+	m.RefreshVersion()
+	if !m.Relation().Equal(bsim.Compute(g, q)) {
+		t.Error("diverged from batch recompute after node removal")
+	}
+	// Without the only qualifying tester, the whole team dissolves.
+	if !m.Relation().IsEmpty() {
+		t.Errorf("relation should be empty without Eva: %v", m.Relation())
+	}
+}
+
+func TestSyncAttrChangedDisqualifies(t *testing.T) {
+	g, p := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	m := NewMatcher(g, q)
+	// Bob's experience drops below the SA threshold.
+	if err := g.SetAttr(p.Bob, "experience", graph.Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	added, removed, err := m.SyncAttrChanged(p.Bob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 0 {
+		t.Errorf("unexpected additions: %v", added)
+	}
+	sa, _ := q.Lookup("SA")
+	foundBob := false
+	for _, pr := range removed {
+		if pr.PNode == sa && pr.Node == p.Bob {
+			foundBob = true
+		}
+	}
+	if !foundBob {
+		t.Errorf("removed = %v, want (SA, Bob)", removed)
+	}
+	if !m.Relation().Equal(bsim.Compute(g, q)) {
+		t.Error("diverged from batch recompute")
+	}
+}
+
+func TestSyncAttrChangedQualifies(t *testing.T) {
+	g, p := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	m := NewMatcher(g, q)
+	// Tess gains experience and becomes a qualifying tester.
+	if err := g.SetAttr(p.Tess, "experience", graph.Int(4)); err != nil {
+		t.Fatal(err)
+	}
+	added, _, err := m.SyncAttrChanged(p.Tess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tess(ST) needs an SD within 1: Tess->Fred, and Fred needs an ST
+	// within 2: Fred->Tess — mutually supporting, both enter.
+	if len(added) < 2 {
+		t.Errorf("added = %v, want Tess and Fred entering together", added)
+	}
+	if !m.Relation().Equal(bsim.Compute(g, q)) {
+		t.Error("diverged from batch recompute")
+	}
+}
+
+// Property: interleaved node additions, attribute flips, edge updates and
+// engine-style node removals all track batch recomputation.
+func TestQuickNodeOpsEqualBatch(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(r, 15, 35)
+		q := testutil.RandomPattern(r, 1+r.Intn(3))
+		m := NewMatcher(g, q)
+		for step := 0; step < 12; step++ {
+			switch r.Intn(4) {
+			case 0: // add node
+				id := g.AddNode(testutil.Labels[r.Intn(len(testutil.Labels))],
+					graph.Attrs{"experience": graph.Int(int64(r.Intn(10)))})
+				m.SyncNodeAdded(id)
+			case 1: // attribute flip
+				nodes := g.Nodes()
+				id := nodes[r.Intn(len(nodes))]
+				if err := g.SetAttr(id, "experience", graph.Int(int64(r.Intn(10)))); err != nil {
+					return false
+				}
+				if _, _, err := m.SyncAttrChanged(id); err != nil {
+					return false
+				}
+			case 2: // edge update
+				ops := testutil.RandomOps(r, g, 1)
+				// RandomOps already applied the op to g; sync only.
+				if _, _, err := m.Sync([]Update{{Insert: ops[0].Insert, From: ops[0].From, To: ops[0].To}}); err != nil {
+					return false
+				}
+			case 3: // engine-style node removal
+				nodes := g.Nodes()
+				if len(nodes) < 5 {
+					continue
+				}
+				id := nodes[r.Intn(len(nodes))]
+				var ops []Update
+				for _, v := range g.Out(id) {
+					ops = append(ops, Delete(id, v))
+				}
+				for _, u := range g.In(id) {
+					if u != id {
+						ops = append(ops, Delete(u, id))
+					}
+				}
+				for _, op := range ops {
+					if err := g.RemoveEdge(op.From, op.To); err != nil {
+						return false
+					}
+				}
+				if _, _, err := m.Sync(ops); err != nil {
+					return false
+				}
+				m.SyncNodeRemoving(id)
+				if err := g.RemoveNode(id); err != nil {
+					return false
+				}
+				m.RefreshVersion()
+			}
+			if !m.Relation().Equal(bsim.Compute(g, q)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

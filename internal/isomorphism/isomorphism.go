@@ -1,0 +1,155 @@
+// Package isomorphism implements a VF2-style backtracking search for
+// subgraph isomorphism. ExpFinder does not use isomorphism to answer
+// queries — the paper's point is precisely that it is NP-complete and too
+// restrictive for social-network patterns — but the baseline is needed to
+// reproduce that comparison (experiment E7): it misses matches bounded
+// simulation finds, and its cost explodes with pattern size.
+//
+// Here a pattern maps injectively onto a subgraph of the data graph: each
+// pattern node to a *distinct* data node satisfying its predicate, and each
+// pattern edge (regardless of declared bound) to a single data edge.
+package isomorphism
+
+import (
+	"expfinder/internal/graph"
+	"expfinder/internal/match"
+	"expfinder/internal/pattern"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxEmbeddings stops the search after this many embeddings
+	// (0 = unlimited). The match relation is a union of embeddings, so
+	// truncation yields a sound under-approximation.
+	MaxEmbeddings int
+	// MaxSteps aborts after this many recursion steps (0 = unlimited),
+	// guarding benchmarks against exponential blowups.
+	MaxSteps int
+}
+
+// Result carries the embeddings found and search statistics.
+type Result struct {
+	// Embeddings are complete injective mappings, pattern node index ->
+	// data node.
+	Embeddings [][]graph.NodeID
+	// Steps is the number of recursion steps taken.
+	Steps int
+	// Truncated reports whether a search limit stopped the enumeration.
+	Truncated bool
+}
+
+// Relation folds the embeddings into a match relation (the union of all
+// embedding pairs), comparable with simulation-based relations.
+func (r *Result) Relation(nq int) *match.Relation {
+	rel := match.NewRelation(nq)
+	for _, emb := range r.Embeddings {
+		for u, v := range emb {
+			rel.Add(pattern.NodeIdx(u), v)
+		}
+	}
+	return rel.Normalize()
+}
+
+// Find enumerates subgraph-isomorphism embeddings of q in g.
+func Find(g *graph.Graph, q *pattern.Pattern, opts Options) *Result {
+	nq := q.NumNodes()
+	s := &searcher{
+		g:    g,
+		q:    q,
+		opts: opts,
+		res:  &Result{},
+		emb:  make([]graph.NodeID, nq),
+		used: map[graph.NodeID]bool{},
+	}
+	for i := range s.emb {
+		s.emb[i] = graph.Invalid
+	}
+	// Candidate sets per pattern node, by predicate.
+	s.cands = make([][]graph.NodeID, nq)
+	for u := 0; u < nq; u++ {
+		pred := q.Node(pattern.NodeIdx(u)).Pred
+		g.ForEachNode(func(n graph.Node) {
+			if pred.Eval(n) {
+				s.cands[u] = append(s.cands[u], n.ID)
+			}
+		})
+	}
+	// Static variable order: most-constrained (fewest candidates) first.
+	s.order = make([]int, nq)
+	for i := range s.order {
+		s.order[i] = i
+	}
+	for i := 1; i < nq; i++ {
+		for j := i; j > 0 && len(s.cands[s.order[j]]) < len(s.cands[s.order[j-1]]); j-- {
+			s.order[j], s.order[j-1] = s.order[j-1], s.order[j]
+		}
+	}
+	s.search(0)
+	return s.res
+}
+
+type searcher struct {
+	g     *graph.Graph
+	q     *pattern.Pattern
+	opts  Options
+	res   *Result
+	emb   []graph.NodeID
+	used  map[graph.NodeID]bool
+	cands [][]graph.NodeID
+	order []int
+}
+
+// search extends the partial embedding at position depth in the variable
+// order. It returns false when a search limit fired.
+func (s *searcher) search(depth int) bool {
+	s.res.Steps++
+	if s.opts.MaxSteps > 0 && s.res.Steps > s.opts.MaxSteps {
+		s.res.Truncated = true
+		return false
+	}
+	if depth == len(s.order) {
+		s.res.Embeddings = append(s.res.Embeddings, append([]graph.NodeID(nil), s.emb...))
+		if s.opts.MaxEmbeddings > 0 && len(s.res.Embeddings) >= s.opts.MaxEmbeddings {
+			s.res.Truncated = true
+			return false
+		}
+		return true
+	}
+	u := s.order[depth]
+	for _, v := range s.cands[u] {
+		if s.used[v] || !s.consistent(u, v) {
+			continue
+		}
+		s.emb[u] = v
+		s.used[v] = true
+		ok := s.search(depth + 1)
+		s.used[v] = false
+		s.emb[u] = graph.Invalid
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// consistent checks every pattern edge between u and already-assigned
+// pattern nodes against the data graph.
+func (s *searcher) consistent(u int, v graph.NodeID) bool {
+	for _, e := range s.q.Edges() {
+		switch {
+		case int(e.From) == u && s.emb[e.To] != graph.Invalid:
+			if !s.g.HasEdge(v, s.emb[e.To]) {
+				return false
+			}
+		case int(e.To) == u && s.emb[e.From] != graph.Invalid:
+			if !s.g.HasEdge(s.emb[e.From], v) {
+				return false
+			}
+		case int(e.From) == u && int(e.To) == u:
+			if !s.g.HasEdge(v, v) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package isomorphism
+
+import (
+	"testing"
+
+	"expfinder/internal/bsim"
+	"expfinder/internal/dataset"
+	"expfinder/internal/graph"
+	"expfinder/internal/pattern"
+)
+
+func trianglePattern(t *testing.T) *pattern.Pattern {
+	t.Helper()
+	q := pattern.New()
+	a := q.MustAddNode("A", pattern.Predicate{}.And(pattern.LabelAttr, pattern.OpEq, graph.String("X")))
+	b := q.MustAddNode("B", pattern.Predicate{}.And(pattern.LabelAttr, pattern.OpEq, graph.String("X")))
+	c := q.MustAddNode("C", pattern.Predicate{}.And(pattern.LabelAttr, pattern.OpEq, graph.String("X")))
+	q.MustAddEdge(a, b, 1)
+	q.MustAddEdge(b, c, 1)
+	q.MustAddEdge(c, a, 1)
+	if err := q.SetOutput(a); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestFindsTriangle(t *testing.T) {
+	g := graph.New(4)
+	x := g.AddNode("X", nil)
+	y := g.AddNode("X", nil)
+	z := g.AddNode("X", nil)
+	g.AddNode("X", nil) // isolated
+	for _, e := range [][2]graph.NodeID{{x, y}, {y, z}, {z, x}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := Find(g, trianglePattern(t), Options{})
+	// The directed triangle has 3 rotations.
+	if len(res.Embeddings) != 3 {
+		t.Errorf("found %d embeddings, want 3", len(res.Embeddings))
+	}
+	if res.Truncated {
+		t.Error("unexpected truncation")
+	}
+}
+
+func TestInjectivityEnforced(t *testing.T) {
+	// A 2-cycle cannot host an injective triangle even though simulation
+	// would map all three pattern nodes onto it.
+	g := graph.New(2)
+	x := g.AddNode("X", nil)
+	y := g.AddNode("X", nil)
+	if err := g.AddEdge(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(y, x); err != nil {
+		t.Fatal(err)
+	}
+	q := trianglePattern(t)
+	res := Find(g, q, Options{})
+	if len(res.Embeddings) != 0 {
+		t.Errorf("isomorphism found %d embeddings on a 2-cycle", len(res.Embeddings))
+	}
+	// Bounded simulation, by contrast, matches (no bijection required).
+	if bsim.Compute(g, q).IsEmpty() {
+		t.Error("bounded simulation should match the 2-cycle")
+	}
+}
+
+// TestE7Expressiveness reproduces the paper's motivating comparison on
+// Fig. 1: subgraph isomorphism finds nothing (the query needs multi-hop
+// edges), plain simulation finds nothing, bounded simulation finds the
+// experts.
+func TestE7Expressiveness(t *testing.T) {
+	g, _ := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	iso := Find(g, q, Options{})
+	if len(iso.Embeddings) != 0 {
+		t.Errorf("isomorphism found %d embeddings, want 0", len(iso.Embeddings))
+	}
+	if bsim.Compute(g, q).IsEmpty() {
+		t.Error("bounded simulation should find the team")
+	}
+}
+
+func TestLimits(t *testing.T) {
+	// A complete bipartite-ish blob has many embeddings; limits must stop
+	// the search early and flag truncation.
+	g := graph.New(8)
+	var ids []graph.NodeID
+	for i := 0; i < 8; i++ {
+		ids = append(ids, g.AddNode("X", nil))
+	}
+	for _, u := range ids {
+		for _, v := range ids {
+			if u != v {
+				_ = g.AddEdge(u, v)
+			}
+		}
+	}
+	q := trianglePattern(t)
+	res := Find(g, q, Options{MaxEmbeddings: 5})
+	if len(res.Embeddings) != 5 || !res.Truncated {
+		t.Errorf("MaxEmbeddings: got %d embeddings, truncated=%v", len(res.Embeddings), res.Truncated)
+	}
+	res = Find(g, q, Options{MaxSteps: 10})
+	if !res.Truncated {
+		t.Error("MaxSteps did not truncate")
+	}
+}
+
+func TestRelationFromEmbeddings(t *testing.T) {
+	g := graph.New(3)
+	x := g.AddNode("X", nil)
+	y := g.AddNode("X", nil)
+	z := g.AddNode("X", nil)
+	for _, e := range [][2]graph.NodeID{{x, y}, {y, z}, {z, x}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := trianglePattern(t)
+	res := Find(g, q, Options{})
+	rel := res.Relation(q.NumNodes())
+	// Every node plays every role across the 3 rotations.
+	for u := 0; u < 3; u++ {
+		if rel.CountOf(pattern.NodeIdx(u)) != 3 {
+			t.Errorf("relation count for node %d = %d, want 3", u, rel.CountOf(pattern.NodeIdx(u)))
+		}
+	}
+}
+
+func TestPredicatesPrune(t *testing.T) {
+	g := graph.New(2)
+	a := g.AddNode("X", graph.Attrs{"experience": graph.Int(9)})
+	b := g.AddNode("X", graph.Attrs{"experience": graph.Int(1)})
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	q := pattern.New()
+	qa := q.MustAddNode("A", pattern.Predicate{}.And("experience", pattern.OpGe, graph.Int(5)))
+	qb := q.MustAddNode("B", pattern.Predicate{})
+	q.MustAddEdge(qa, qb, 1)
+	if err := q.SetOutput(qa); err != nil {
+		t.Fatal(err)
+	}
+	res := Find(g, q, Options{})
+	if len(res.Embeddings) != 1 {
+		t.Fatalf("embeddings = %d, want 1", len(res.Embeddings))
+	}
+	if res.Embeddings[0][0] != a {
+		t.Errorf("A mapped to %d, want %d", res.Embeddings[0][0], a)
+	}
+}

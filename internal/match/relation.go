@@ -1,0 +1,210 @@
+// Package match defines the output of ExpFinder's pattern matching: the
+// match relation M(Q,G) between pattern nodes and data nodes, and the
+// weighted result graph the demo's GUI visualizes and the ranking function
+// scores.
+package match
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"expfinder/internal/graph"
+	"expfinder/internal/pattern"
+)
+
+// Pair is one (pattern node, data node) entry of the match relation.
+type Pair struct {
+	PNode pattern.NodeIdx
+	Node  graph.NodeID
+}
+
+// Relation is the match relation M(Q,G): for each pattern node, the set of
+// data nodes that match it. Bounded simulation guarantees a unique maximum
+// relation; the algorithms in internal/simulation and internal/bsim compute
+// it and hand it over here.
+//
+// Invariant (enforced by Normalize): a nonempty relation has at least one
+// match for every pattern node. If any pattern node has no match, the
+// entire relation is empty — that is the paper's definition of M(Q,G).
+type Relation struct {
+	sets []map[graph.NodeID]bool // indexed by pattern.NodeIdx
+}
+
+// NewRelation returns an empty relation for a pattern with n nodes.
+func NewRelation(n int) *Relation {
+	r := &Relation{sets: make([]map[graph.NodeID]bool, n)}
+	for i := range r.sets {
+		r.sets[i] = map[graph.NodeID]bool{}
+	}
+	return r
+}
+
+// NumPatternNodes returns the number of pattern nodes the relation covers.
+func (r *Relation) NumPatternNodes() int { return len(r.sets) }
+
+// Add inserts the pair (u, v).
+func (r *Relation) Add(u pattern.NodeIdx, v graph.NodeID) { r.sets[u][v] = true }
+
+// Remove deletes the pair (u, v).
+func (r *Relation) Remove(u pattern.NodeIdx, v graph.NodeID) { delete(r.sets[u], v) }
+
+// Has reports whether (u, v) is in the relation.
+func (r *Relation) Has(u pattern.NodeIdx, v graph.NodeID) bool { return r.sets[u][v] }
+
+// MatchesOf returns the matches of pattern node u in ascending id order.
+func (r *Relation) MatchesOf(u pattern.NodeIdx) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(r.sets[u]))
+	for v := range r.sets[u] {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CountOf returns the number of matches of pattern node u.
+func (r *Relation) CountOf(u pattern.NodeIdx) int { return len(r.sets[u]) }
+
+// Size returns the total number of pairs.
+func (r *Relation) Size() int {
+	n := 0
+	for _, s := range r.sets {
+		n += len(s)
+	}
+	return n
+}
+
+// IsEmpty reports whether the relation has no pairs at all.
+func (r *Relation) IsEmpty() bool { return r.Size() == 0 }
+
+// Pairs returns all pairs sorted by (pattern node, data node); used for
+// deterministic output and comparisons in tests.
+func (r *Relation) Pairs() []Pair {
+	out := make([]Pair, 0, r.Size())
+	for u, s := range r.sets {
+		for v := range s {
+			out = append(out, Pair{PNode: pattern.NodeIdx(u), Node: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PNode != out[j].PNode {
+			return out[i].PNode < out[j].PNode
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// Normalize enforces the all-or-nothing semantics of M(Q,G): if any pattern
+// node ended up with no matches, every set is cleared. It returns the
+// (possibly emptied) relation for chaining.
+func (r *Relation) Normalize() *Relation {
+	for _, s := range r.sets {
+		if len(s) == 0 {
+			for i := range r.sets {
+				r.sets[i] = map[graph.NodeID]bool{}
+			}
+			return r
+		}
+	}
+	return r
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(len(r.sets))
+	for u, s := range r.sets {
+		for v := range s {
+			c.sets[u][v] = true
+		}
+	}
+	return c
+}
+
+// Equal reports whether two relations contain exactly the same pairs.
+func (r *Relation) Equal(o *Relation) bool {
+	if len(r.sets) != len(o.sets) {
+		return false
+	}
+	for u := range r.sets {
+		if len(r.sets[u]) != len(o.sets[u]) {
+			return false
+		}
+		for v := range r.sets[u] {
+			if !o.sets[u][v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Diff returns the pairs present in r but not in o, and present in o but
+// not in r. The incremental module reports updates as such deltas.
+func (r *Relation) Diff(o *Relation) (added, removed []Pair) {
+	for u := range o.sets {
+		for v := range o.sets[u] {
+			if u >= len(r.sets) || !r.sets[u][v] {
+				added = append(added, Pair{PNode: pattern.NodeIdx(u), Node: v})
+			}
+		}
+	}
+	for u := range r.sets {
+		for v := range r.sets[u] {
+			if u >= len(o.sets) || !o.sets[u][v] {
+				removed = append(removed, Pair{PNode: pattern.NodeIdx(u), Node: v})
+			}
+		}
+	}
+	sortPairs(added)
+	sortPairs(removed)
+	return added, removed
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].PNode != ps[j].PNode {
+			return ps[i].PNode < ps[j].PNode
+		}
+		return ps[i].Node < ps[j].Node
+	})
+}
+
+// String renders the relation using pattern node indices, e.g.
+// "{0:[1 5], 1:[2]}".
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for u := range r.sets {
+		if u > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d:%v", u, r.MatchesOf(pattern.NodeIdx(u)))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Format renders the relation with pattern node and data node names for
+// human consumption, e.g. "SA -> Bob, Walt".
+func (r *Relation) Format(q *pattern.Pattern, g *graph.Graph, nameAttr string) string {
+	var b strings.Builder
+	for u := range r.sets {
+		if u > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%s ->", q.Node(pattern.NodeIdx(u)).Name)
+		for i, v := range r.MatchesOf(pattern.NodeIdx(u)) {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteByte(' ')
+			if name, ok := g.Attr(v, nameAttr); ok {
+				b.WriteString(name.Str())
+			} else {
+				fmt.Fprintf(&b, "#%d", v)
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,187 @@
+package match
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+
+	"expfinder/internal/graph"
+	"expfinder/internal/pattern"
+)
+
+// WEdge is a weighted edge of a result graph: the weight is the length of a
+// shortest collaboration path in the data graph realizing one pattern edge.
+type WEdge struct {
+	To     graph.NodeID
+	Weight int
+}
+
+// ResultGraph is the paper's visualization of M(Q,G): one node per matched
+// data node, and for every pattern edge (u,u') and match pair (v,v') with
+// dist(v,v') within the bound, an edge v->v' weighted by the shortest-path
+// length. The ranking function measures social impact as distances in this
+// graph.
+type ResultGraph struct {
+	nodes []graph.NodeID
+	index map[graph.NodeID]int
+	out   map[graph.NodeID][]WEdge
+	in    map[graph.NodeID][]WEdge
+	// PNodeOf records which pattern nodes each data node matches (a data
+	// node can match several pattern nodes).
+	PNodeOf map[graph.NodeID][]pattern.NodeIdx
+}
+
+// BuildResultGraph constructs the result graph for a match relation over a
+// data graph. For every pattern edge with bound k it runs a depth-k BFS
+// from each match of the source node (full BFS for unbounded edges) and
+// connects it to the matches of the target node it can reach.
+func BuildResultGraph(g *graph.Graph, q *pattern.Pattern, r *Relation) *ResultGraph {
+	rg := &ResultGraph{
+		index:   map[graph.NodeID]int{},
+		out:     map[graph.NodeID][]WEdge{},
+		in:      map[graph.NodeID][]WEdge{},
+		PNodeOf: map[graph.NodeID][]pattern.NodeIdx{},
+	}
+	for u := 0; u < r.NumPatternNodes(); u++ {
+		for _, v := range r.MatchesOf(pattern.NodeIdx(u)) {
+			rg.addNode(v)
+			rg.PNodeOf[v] = append(rg.PNodeOf[v], pattern.NodeIdx(u))
+		}
+	}
+	type edgeKey struct {
+		from, to graph.NodeID
+	}
+	seen := map[edgeKey]bool{}
+	for _, e := range q.Edges() {
+		for _, v := range r.MatchesOf(e.From) {
+			ball := g.OutBall(v, e.Bound) // Bound==Unbounded(-1) means full BFS
+			for _, w := range r.MatchesOf(e.To) {
+				d, ok := ball.Dist[w]
+				if !ok {
+					continue
+				}
+				k := edgeKey{v, w}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				rg.out[v] = append(rg.out[v], WEdge{To: w, Weight: d})
+				rg.in[w] = append(rg.in[w], WEdge{To: v, Weight: d})
+			}
+		}
+	}
+	rg.sortAdjacency()
+	return rg
+}
+
+func (rg *ResultGraph) addNode(v graph.NodeID) {
+	if _, ok := rg.index[v]; ok {
+		return
+	}
+	rg.index[v] = len(rg.nodes)
+	rg.nodes = append(rg.nodes, v)
+}
+
+func (rg *ResultGraph) sortAdjacency() {
+	for _, adj := range []map[graph.NodeID][]WEdge{rg.out, rg.in} {
+		for _, es := range adj {
+			sort.Slice(es, func(i, j int) bool { return es[i].To < es[j].To })
+		}
+	}
+}
+
+// Nodes returns the matched data nodes in insertion (pattern-node) order.
+func (rg *ResultGraph) Nodes() []graph.NodeID { return rg.nodes }
+
+// NumNodes returns the number of distinct matched data nodes.
+func (rg *ResultGraph) NumNodes() int { return len(rg.nodes) }
+
+// NumEdges returns the number of result edges.
+func (rg *ResultGraph) NumEdges() int {
+	n := 0
+	for _, es := range rg.out {
+		n += len(es)
+	}
+	return n
+}
+
+// Has reports whether v is a node of the result graph.
+func (rg *ResultGraph) Has(v graph.NodeID) bool {
+	_, ok := rg.index[v]
+	return ok
+}
+
+// Out returns the weighted out-edges of v.
+func (rg *ResultGraph) Out(v graph.NodeID) []WEdge { return rg.out[v] }
+
+// In returns the weighted in-edges of v (each WEdge.To is a predecessor).
+func (rg *ResultGraph) In(v graph.NodeID) []WEdge { return rg.in[v] }
+
+// Weight returns the weight of edge (u,v) and whether it exists.
+func (rg *ResultGraph) Weight(u, v graph.NodeID) (int, bool) {
+	for _, e := range rg.out[u] {
+		if e.To == v {
+			return e.Weight, true
+		}
+	}
+	return 0, false
+}
+
+// dijkstraItem is a priority-queue entry.
+type dijkstraItem struct {
+	node graph.NodeID
+	dist int
+}
+
+type dijkstraPQ []dijkstraItem
+
+func (pq dijkstraPQ) Len() int           { return len(pq) }
+func (pq dijkstraPQ) Less(i, j int) bool { return pq[i].dist < pq[j].dist }
+func (pq dijkstraPQ) Swap(i, j int)      { pq[i], pq[j] = pq[j], pq[i] }
+func (pq *dijkstraPQ) Push(x any)        { *pq = append(*pq, x.(dijkstraItem)) }
+func (pq *dijkstraPQ) Pop() any {
+	old := *pq
+	n := len(old)
+	item := old[n-1]
+	*pq = old[:n-1]
+	return item
+}
+
+// Distances runs Dijkstra over the weighted result graph from src, forward
+// (reverse=false, distances *to* descendants) or backward (reverse=true,
+// distances *from* ancestors). The source maps to 0. Unreachable nodes are
+// absent from the returned map.
+func (rg *ResultGraph) Distances(src graph.NodeID, reverse bool) map[graph.NodeID]int {
+	dist := map[graph.NodeID]int{}
+	if !rg.Has(src) {
+		return dist
+	}
+	adj := rg.out
+	if reverse {
+		adj = rg.in
+	}
+	dist[src] = 0
+	pq := &dijkstraPQ{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(dijkstraItem)
+		if it.dist > dist[it.node] {
+			continue // stale entry
+		}
+		for _, e := range adj[it.node] {
+			nd := it.dist + e.Weight
+			if cur, ok := dist[e.To]; !ok || nd < cur {
+				dist[e.To] = nd
+				heap.Push(pq, dijkstraItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// String renders the result graph compactly for logs and tests.
+func (rg *ResultGraph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "result(n=%d, m=%d)", rg.NumNodes(), rg.NumEdges())
+	return b.String()
+}

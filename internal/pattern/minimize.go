@@ -1,0 +1,220 @@
+package pattern
+
+import "sort"
+
+// Minimize returns an equivalent, typically smaller pattern, together with
+// the mapping from the original node indices to the minimized ones. Pattern
+// query minimization is the companion problem the bounded-simulation paper
+// (PVLDB 2010) poses: smaller patterns evaluate faster on every graph.
+//
+// Two sound reductions are applied:
+//
+//  1. Equivalent pattern nodes are merged. Node v is (syntactically)
+//     dominated by w when w's predicate is at least as strict — its
+//     condition set contains v's — and every out-obligation of v is implied
+//     by one of w (same-or-tighter bound into a node dominating v's
+//     target). Mutually dominating nodes have identical match sets in
+//     every graph, so they collapse into one, with the output node kept as
+//     the representative of its class.
+//
+//  2. Implied edges are removed: an edge (u,v,k1) is redundant when some
+//     other kept edge (u,w,k2) has k2 <= k1 and every match of w is a
+//     match of v (v dominated by w) — whatever witnesses (u,w,k2) also
+//     witnesses (u,v,k1). Parallel edges left behind by merging keep the
+//     smallest bound, which implies the rest.
+//
+// The invariant M(Minimize(Q), G) == M(Q, G) (modulo the returned node
+// mapping) is property-tested against random graphs. Note that result
+// *graphs* can differ — removed edges no longer contribute weighted result
+// edges — so minimization is an explicit offline step, not something the
+// engine applies silently before ranking.
+func Minimize(q *Pattern) (*Pattern, []NodeIdx) {
+	n := q.NumNodes()
+	dom := dominance(q)
+
+	// Equivalence classes under mutual domination; the output node is
+	// always its class representative so the output designation survives.
+	classOf := make([]int, n)
+	for i := range classOf {
+		classOf[i] = -1
+	}
+	var reps []NodeIdx
+	for i := 0; i < n; i++ {
+		if classOf[i] != -1 {
+			continue
+		}
+		classID := len(reps)
+		classOf[i] = classID
+		rep := NodeIdx(i)
+		for j := i + 1; j < n; j++ {
+			if classOf[j] == -1 && dom[i][j] && dom[j][i] {
+				classOf[j] = classID
+				if NodeIdx(j) == q.Output() {
+					rep = NodeIdx(j)
+				}
+			}
+		}
+		if NodeIdx(i) == q.Output() {
+			rep = NodeIdx(i)
+		}
+		reps = append(reps, rep)
+	}
+
+	// Rebuild nodes; collapse edges onto representatives keeping the
+	// tightest bound per (from, to).
+	min := New()
+	newIdx := make([]NodeIdx, len(reps))
+	for c, rep := range reps {
+		node := q.Node(rep)
+		newIdx[c] = min.MustAddNode(node.Name, Predicate{Conds: append([]Condition(nil), node.Pred.Conds...)})
+	}
+	type key struct{ from, to NodeIdx }
+	bounds := map[key]int{}
+	for _, e := range q.Edges() {
+		k := key{newIdx[classOf[e.From]], newIdx[classOf[e.To]]}
+		cur, ok := bounds[k]
+		if !ok || tighter(e.Bound, cur) {
+			bounds[k] = e.Bound
+		}
+	}
+
+	// Edge redundancy pass on the collapsed edge set. Deterministic order:
+	// sort candidate edges, then greedily drop any edge implied by a kept
+	// one.
+	var edges []Edge
+	for k, b := range bounds {
+		edges = append(edges, Edge{From: k.from, To: k.to, Bound: b})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	domMin := dominanceOf(min, edges)
+	kept := make([]bool, len(edges))
+	for i := range kept {
+		kept[i] = true
+	}
+	for i, e1 := range edges {
+		for j, e2 := range edges {
+			if i == j || !kept[j] || !kept[i] || e1.From != e2.From || e1.To == e2.To {
+				continue
+			}
+			// e2 implies e1: tighter-or-equal bound into a dominating node.
+			if !tighterEq(e2.Bound, e1.Bound) {
+				continue
+			}
+			if domMin[e1.To][e2.To] { // e1.To dominated by e2.To
+				kept[i] = false
+				break
+			}
+		}
+	}
+	for i, e := range edges {
+		if kept[i] {
+			min.MustAddEdge(e.From, e.To, e.Bound)
+		}
+	}
+
+	if out := q.Output(); out >= 0 {
+		if err := min.SetOutput(newIdx[classOf[out]]); err != nil {
+			panic(err) // representative indices are always valid
+		}
+	}
+	mapping := make([]NodeIdx, n)
+	for i := 0; i < n; i++ {
+		mapping[i] = newIdx[classOf[i]]
+	}
+	return min, mapping
+}
+
+// tighter reports whether bound a is strictly stronger than b (smaller
+// finite bound; any finite bound is tighter than Unbounded).
+func tighter(a, b int) bool {
+	if a == Unbounded {
+		return false
+	}
+	if b == Unbounded {
+		return true
+	}
+	return a < b
+}
+
+// tighterEq reports a tighter-or-equal b.
+func tighterEq(a, b int) bool { return a == b || tighter(a, b) }
+
+// dominance computes the syntactic domination preorder on q's nodes:
+// dom[v][w] means every match of w is a match of v, in every graph.
+func dominance(q *Pattern) [][]bool {
+	return dominanceOf(q, q.Edges())
+}
+
+// dominanceOf computes domination using an explicit edge set (so the
+// minimizer can reason about a pattern under construction). Greatest
+// fixpoint: start from predicate implication, remove (v,w) pairs whose
+// out-obligations of v are not implied by w's.
+func dominanceOf(q *Pattern, edges []Edge) [][]bool {
+	n := q.NumNodes()
+	dom := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		dom[v] = make([]bool, n)
+		for w := 0; w < n; w++ {
+			dom[v][w] = predImplies(q.Node(NodeIdx(w)).Pred, q.Node(NodeIdx(v)).Pred)
+		}
+	}
+	outEdges := make([][]Edge, n)
+	for _, e := range edges {
+		outEdges[e.From] = append(outEdges[e.From], e)
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			for w := 0; w < n; w++ {
+				if !dom[v][w] || v == w {
+					continue
+				}
+				// Every out-edge of v must be implied by an out-edge of w.
+				ok := true
+				for _, ev := range outEdges[v] {
+					implied := false
+					for _, ew := range outEdges[w] {
+						if tighterEq(ew.Bound, ev.Bound) && dom[ev.To][ew.To] {
+							implied = true
+							break
+						}
+					}
+					if !implied {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					dom[v][w] = false
+					changed = true
+				}
+			}
+		}
+	}
+	return dom
+}
+
+// predImplies reports whether predicate a implies predicate b
+// syntactically: every condition of b appears verbatim in a. (Sound but
+// not complete — x >= 5 does not "imply" x >= 3 here; completeness is not
+// required for a sound minimizer.)
+func predImplies(a, b Predicate) bool {
+	for _, cb := range b.Conds {
+		found := false
+		for _, ca := range a.Conds {
+			if ca.Attr == cb.Attr && ca.Op == cb.Op && ca.Value.Equal(cb.Value) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+package pattern_test
+
+// The semantic property of the minimizer lives in an external test package
+// because it needs the matching algorithms, which import pattern.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"expfinder/internal/bsim"
+	"expfinder/internal/pattern"
+	"expfinder/internal/simulation"
+	"expfinder/internal/testutil"
+)
+
+// Property: minimization preserves the match relation, modulo the node
+// mapping, under bounded simulation — on redundancy-injected random
+// patterns over random graphs.
+func TestQuickMinimizePreservesMatches(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(r, 20, 55)
+		q := testutil.RandomPattern(r, 1+r.Intn(4))
+		min, mapping := pattern.Minimize(q)
+		orig := bsim.Compute(g, q)
+		reduced := bsim.Compute(g, min)
+		// Every original pair must appear under its mapped node, and the
+		// totals per mapped class must agree.
+		for _, p := range orig.Pairs() {
+			if !reduced.Has(mapping[p.PNode], p.Node) {
+				return false
+			}
+		}
+		// Reverse containment: a reduced pair must be justified by some
+		// original node mapping onto it.
+		back := map[pattern.NodeIdx][]pattern.NodeIdx{}
+		for i, m := range mapping {
+			back[m] = append(back[m], pattern.NodeIdx(i))
+		}
+		for _, p := range reduced.Pairs() {
+			found := false
+			for _, origIdx := range back[p.PNode] {
+				if orig.Has(origIdx, p.Node) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Same property under plain simulation for all-bounds-1 patterns.
+func TestQuickMinimizePreservesSimulation(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(r, 20, 55)
+		q := testutil.RandomSimPattern(r, 1+r.Intn(4))
+		min, mapping := pattern.Minimize(q)
+		orig := simulation.Compute(g, q)
+		reduced := simulation.Compute(g, min)
+		for _, p := range orig.Pairs() {
+			if !reduced.Has(mapping[p.PNode], p.Node) {
+				return false
+			}
+		}
+		return orig.Size() == 0 == reduced.IsEmpty() || !reduced.IsEmpty()
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+package pattern
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"expfinder/internal/graph"
+)
+
+func labelPred(l string) Predicate {
+	return Predicate{}.And(LabelAttr, OpEq, graph.String(l))
+}
+
+func TestMinimizeMergesDuplicateNodes(t *testing.T) {
+	// Two identical SD requirements hanging off SA collapse into one.
+	q := New()
+	sa := q.MustAddNode("SA", labelPred("SA"))
+	sd1 := q.MustAddNode("SD1", labelPred("SD"))
+	sd2 := q.MustAddNode("SD2", labelPred("SD"))
+	q.MustAddEdge(sa, sd1, 2)
+	q.MustAddEdge(sa, sd2, 2)
+	if err := q.SetOutput(sa); err != nil {
+		t.Fatal(err)
+	}
+	min, mapping := Minimize(q)
+	if min.NumNodes() != 2 {
+		t.Errorf("minimized nodes = %d, want 2", min.NumNodes())
+	}
+	if min.NumEdges() != 1 {
+		t.Errorf("minimized edges = %d, want 1", min.NumEdges())
+	}
+	if mapping[sd1] != mapping[sd2] {
+		t.Error("duplicate SDs not merged")
+	}
+	if mapping[sa] != min.Output() {
+		t.Error("output designation lost")
+	}
+}
+
+func TestMinimizeKeepsOutputAsRepresentative(t *testing.T) {
+	// The output node is inside an equivalence class; it must survive.
+	q := New()
+	a1 := q.MustAddNode("A1", labelPred("A"))
+	a2 := q.MustAddNode("A2", labelPred("A"))
+	_ = a1
+	if err := q.SetOutput(a2); err != nil {
+		t.Fatal(err)
+	}
+	min, mapping := Minimize(q)
+	if min.NumNodes() != 1 {
+		t.Fatalf("nodes = %d, want 1", min.NumNodes())
+	}
+	if min.Node(min.Output()).Name != "A2" {
+		t.Errorf("representative = %q, want the output node A2", min.Node(min.Output()).Name)
+	}
+	if mapping[a2] != min.Output() {
+		t.Error("mapping lost the output")
+	}
+}
+
+func TestMinimizeDropsImpliedEdges(t *testing.T) {
+	// SA -> SD bound 2 implies SA -> SD' bound 3 when SD' is a weaker copy
+	// of SD (here: identical predicate, no obligations).
+	q := New()
+	sa := q.MustAddNode("SA", labelPred("SA"))
+	sd := q.MustAddNode("SD", labelPred("SD"))
+	q.MustAddEdge(sa, sd, 2)
+	// A parallel weaker edge via a *different* but dominated node cannot
+	// exist post-merge (equivalents merge), so test parallel-bound folding:
+	// the collapsed (sa, sd) keeps the tighter bound after a merge of two
+	// equivalent targets with different incoming bounds.
+	sd2 := q.MustAddNode("SD2", labelPred("SD"))
+	q.MustAddEdge(sa, sd2, 3)
+	if err := q.SetOutput(sa); err != nil {
+		t.Fatal(err)
+	}
+	min, _ := Minimize(q)
+	if min.NumNodes() != 2 || min.NumEdges() != 1 {
+		t.Fatalf("minimized shape = (%d,%d), want (2,1)", min.NumNodes(), min.NumEdges())
+	}
+	if e := min.Edges()[0]; e.Bound != 2 {
+		t.Errorf("collapsed bound = %d, want the tighter 2", e.Bound)
+	}
+}
+
+func TestMinimizeRemovesEdgeImpliedByStricterSibling(t *testing.T) {
+	// u -> strict (bound 2) implies u -> loose (bound 3) when strict's
+	// predicate contains loose's: every strict-match is a loose-match.
+	q := New()
+	u := q.MustAddNode("U", labelPred("U"))
+	loose := q.MustAddNode("Loose", labelPred("X"))
+	strict := q.MustAddNode("Strict",
+		labelPred("X").And("experience", OpGe, graph.Int(5)))
+	q.MustAddEdge(u, loose, 3)
+	q.MustAddEdge(u, strict, 2)
+	if err := q.SetOutput(u); err != nil {
+		t.Fatal(err)
+	}
+	min, mapping := Minimize(q)
+	// Loose and Strict are NOT equivalent (one-way domination), so 3 nodes
+	// survive, but the implied edge u->Loose disappears.
+	if min.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", min.NumNodes())
+	}
+	if min.NumEdges() != 1 {
+		t.Fatalf("edges = %d, want 1 (implied edge dropped): %v", min.NumEdges(), min.Edges())
+	}
+	if e := min.Edges()[0]; e.To != mapping[strict] {
+		t.Error("kept the wrong edge")
+	}
+}
+
+func TestMinimizeIdempotentOnPaperQuery(t *testing.T) {
+	// The Fig. 1 query is already minimal.
+	q, err := Parse(`
+node SA [label = "SA", experience >= 5] output
+node SD [label = "SD", experience >= 2]
+node BA [label = "BA", experience >= 3]
+node ST [label = "ST", experience >= 2]
+edge SA -> SD bound 2
+edge SA -> BA bound 3
+edge SD -> ST bound 2
+edge ST -> SD bound 1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, _ := Minimize(q)
+	if min.NumNodes() != q.NumNodes() || min.NumEdges() != q.NumEdges() {
+		t.Errorf("paper query shrank to (%d,%d); it is already minimal", min.NumNodes(), min.NumEdges())
+	}
+	// And minimization is idempotent.
+	min2, _ := Minimize(min)
+	if min2.NumNodes() != min.NumNodes() || min2.NumEdges() != min.NumEdges() {
+		t.Error("Minimize not idempotent")
+	}
+}
+
+func TestMinimizeHandlesCyclicTwins(t *testing.T) {
+	// Mutually-dominating nodes on a pattern cycle with equal bounds merge
+	// into a self-edge.
+	q := New()
+	a := q.MustAddNode("A", labelPred("X"))
+	b := q.MustAddNode("B", labelPred("X"))
+	q.MustAddEdge(a, b, 2)
+	q.MustAddEdge(b, a, 2)
+	if err := q.SetOutput(a); err != nil {
+		t.Fatal(err)
+	}
+	min, _ := Minimize(q)
+	if min.NumNodes() != 1 {
+		t.Fatalf("nodes = %d, want 1", min.NumNodes())
+	}
+	if min.NumEdges() != 1 || min.Edges()[0].From != min.Edges()[0].To {
+		t.Errorf("expected a single self-edge, got %v", min.Edges())
+	}
+	// Unequal bounds must NOT merge (domination fails one way).
+	q2 := New()
+	a2 := q2.MustAddNode("A", labelPred("X"))
+	b2 := q2.MustAddNode("B", labelPred("X"))
+	q2.MustAddEdge(a2, b2, 1)
+	q2.MustAddEdge(b2, a2, 2)
+	if err := q2.SetOutput(a2); err != nil {
+		t.Fatal(err)
+	}
+	min2, _ := Minimize(q2)
+	if min2.NumNodes() != 2 {
+		t.Errorf("unequal-bound cycle merged: %d nodes", min2.NumNodes())
+	}
+}
+
+// buildRedundantPattern makes a random pattern and then injects duplicate
+// nodes and implied edges, returning the bloated version.
+func buildRedundantPattern(r *rand.Rand) *Pattern {
+	labels := []string{"SA", "SD", "BA"}
+	q := New()
+	n := 2 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		q.MustAddNode(fmt.Sprintf("n%d", i), labelPred(labels[r.Intn(len(labels))]))
+	}
+	for i := 1; i < n; i++ {
+		q.MustAddEdge(NodeIdx(r.Intn(i)), NodeIdx(i), 1+r.Intn(3))
+	}
+	// Inject duplicates of random nodes (same predicate, same out-edges).
+	dups := 1 + r.Intn(2)
+	for d := 0; d < dups; d++ {
+		src := NodeIdx(r.Intn(n))
+		dup := q.MustAddNode(fmt.Sprintf("dup%d", d), Predicate{Conds: append([]Condition(nil), q.Node(src).Pred.Conds...)})
+		for _, e := range q.OutEdges(src) {
+			_ = q.AddEdge(dup, e.To, e.Bound)
+		}
+		// Wire the duplicate into the pattern the same way as the source.
+		for _, e := range q.InEdges(src) {
+			_ = q.AddEdge(e.From, dup, e.Bound)
+		}
+	}
+	if err := q.SetOutput(0); err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func TestMinimizeShrinksInjectedRedundancy(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	shrunk := 0
+	for trial := 0; trial < 30; trial++ {
+		q := buildRedundantPattern(r)
+		min, _ := Minimize(q)
+		if min.NumNodes() > q.NumNodes() || min.NumEdges() > q.NumEdges() {
+			t.Fatalf("trial %d: minimization grew the pattern", trial)
+		}
+		if min.NumNodes() < q.NumNodes() {
+			shrunk++
+		}
+		if err := min.Validate(); err != nil {
+			t.Fatalf("trial %d: minimized pattern invalid: %v", trial, err)
+		}
+	}
+	if shrunk == 0 {
+		t.Error("no injected redundancy was ever removed")
+	}
+}

@@ -1,0 +1,441 @@
+package pattern
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"expfinder/internal/graph"
+)
+
+// The pattern DSL, the text equivalent of the demo's Pattern Builder GUI:
+//
+//	# hire an experienced system architect
+//	node SA [label = "SA", experience >= 5] output
+//	node SD [label = "SD", experience >= 2]
+//	node BA [label = "BA", experience >= 3]
+//	node ST [label = "ST", experience >= 2]
+//	edge SA -> SD bound 2
+//	edge SA -> BA bound 3
+//	edge SD -> ST bound 2
+//	edge ST -> SD bound 1
+//
+// `bound *` requests an unbounded (reachability) edge; `bound 1` edges make
+// the query a plain graph-simulation query.
+
+// ParseError is a DSL syntax error with position information.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("pattern: line %d, col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokPunct // one of [ ] , * and multi-char -> <= >= != == = < >
+	tokNewline
+)
+
+type token struct {
+	kind      tokenKind
+	text      string
+	line, col int
+}
+
+type lexer struct {
+	src       string
+	pos       int
+	line, col int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errorf(line, col int, format string, args ...any) *ParseError {
+	return &ParseError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// next returns the next token, collapsing comments and folding consecutive
+// newlines into one.
+func (l *lexer) next() (token, *ParseError) {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == '#': // comment to end of line
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '\n':
+			line, col := l.line, l.col
+			for l.pos < len(l.src) && (l.peekByte() == '\n' || l.peekByte() == ' ' || l.peekByte() == '\t' || l.peekByte() == '\r') {
+				l.advance()
+			}
+			return token{kind: tokNewline, line: line, col: col}, nil
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance()
+		default:
+			return l.lexToken()
+		}
+	}
+	return token{kind: tokEOF, line: l.line, col: l.col}, nil
+}
+
+func (l *lexer) lexToken() (token, *ParseError) {
+	line, col := l.line, l.col
+	c := l.peekByte()
+	switch {
+	case c == '"' || c == '\'':
+		quote := l.advance()
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf(line, col, "unterminated string")
+			}
+			ch := l.advance()
+			if ch == quote {
+				return token{kind: tokString, text: b.String(), line: line, col: col}, nil
+			}
+			if ch == '\\' && l.pos < len(l.src) {
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\', '"', '\'':
+					b.WriteByte(esc)
+				default:
+					return token{}, l.errorf(l.line, l.col, "bad escape \\%c", esc)
+				}
+				continue
+			}
+			if ch == '\n' {
+				return token{}, l.errorf(line, col, "unterminated string")
+			}
+			b.WriteByte(ch)
+		}
+	case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '>':
+		l.advance()
+		l.advance()
+		return token{kind: tokPunct, text: "->", line: line, col: col}, nil
+	case c == '-' || unicode.IsDigit(rune(c)):
+		start := l.pos
+		l.advance()
+		for l.pos < len(l.src) {
+			d := l.peekByte()
+			if unicode.IsDigit(rune(d)) || d == '.' {
+				l.advance()
+			} else {
+				break
+			}
+		}
+		text := l.src[start:l.pos]
+		if text == "-" {
+			return token{}, l.errorf(line, col, "unexpected '-'")
+		}
+		return token{kind: tokNumber, text: text, line: line, col: col}, nil
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+	default:
+		// Multi-char comparison operators first.
+		rest := l.src[l.pos:]
+		for _, op := range []string{"<=", ">=", "!=", "=="} {
+			if strings.HasPrefix(rest, op) {
+				l.advance()
+				l.advance()
+				return token{kind: tokPunct, text: op, line: line, col: col}, nil
+			}
+		}
+		switch c {
+		case '[', ']', ',', '*', '=', '<', '>':
+			l.advance()
+			return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+		}
+		return token{}, l.errorf(line, col, "unexpected character %q", c)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '.' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() *ParseError {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) *ParseError {
+	return &ParseError{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectIdent(what string) (string, *ParseError) {
+	if p.tok.kind != tokIdent {
+		return "", p.errorf("expected %s, got %q", what, p.tok.text)
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+func (p *parser) skipNewlines() *ParseError {
+	for p.tok.kind == tokNewline {
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parse parses a pattern from DSL text and validates it.
+func Parse(src string) (*Pattern, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	pat := New()
+	for {
+		if err := p.skipNewlines(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokEOF {
+			break
+		}
+		kw, err := p.expectIdent("'node' or 'edge'")
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "node":
+			if err := p.parseNode(pat); err != nil {
+				return nil, err
+			}
+		case "edge":
+			if err := p.parseEdge(pat); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, &ParseError{Line: p.tok.line, Col: p.tok.col,
+				Msg: fmt.Sprintf("expected 'node' or 'edge', got %q", kw)}
+		}
+	}
+	if err := pat.Validate(); err != nil {
+		return nil, err
+	}
+	return pat, nil
+}
+
+// parseNode parses: node NAME [cond, cond, ...] [output]
+func (p *parser) parseNode(pat *Pattern) *ParseError {
+	name, err := p.expectIdent("node name")
+	if err != nil {
+		return err
+	}
+	var pred Predicate
+	if p.tok.kind == tokPunct && p.tok.text == "[" {
+		pred, err = p.parsePredicate()
+		if err != nil {
+			return err
+		}
+	}
+	idx, addErr := pat.AddNode(name, pred)
+	if addErr != nil {
+		return p.errorf("%v", addErr)
+	}
+	if p.tok.kind == tokIdent && p.tok.text == "output" {
+		if pat.Output() >= 0 {
+			return p.errorf("output node already designated as %q", pat.Node(pat.Output()).Name)
+		}
+		if err := pat.SetOutput(idx); err != nil {
+			return p.errorf("%v", err)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	if p.tok.kind != tokNewline && p.tok.kind != tokEOF {
+		return p.errorf("unexpected %q after node declaration", p.tok.text)
+	}
+	return nil
+}
+
+// parsePredicate parses: [attr op value, ...]
+func (p *parser) parsePredicate() (Predicate, *ParseError) {
+	var pred Predicate
+	if err := p.advance(); err != nil { // consume '['
+		return pred, err
+	}
+	for {
+		if p.tok.kind == tokPunct && p.tok.text == "]" {
+			if err := p.advance(); err != nil {
+				return pred, err
+			}
+			return pred, nil
+		}
+		attr, err := p.expectIdent("attribute name")
+		if err != nil {
+			return pred, err
+		}
+		if p.tok.kind != tokPunct && p.tok.kind != tokIdent {
+			return pred, p.errorf("expected operator after %q", attr)
+		}
+		op, opErr := ParseOp(p.tok.text)
+		if opErr != nil {
+			return pred, p.errorf("%v", opErr)
+		}
+		if err := p.advance(); err != nil {
+			return pred, err
+		}
+		val, verr := p.parseValue()
+		if verr != nil {
+			return pred, verr
+		}
+		pred.Conds = append(pred.Conds, Condition{Attr: attr, Op: op, Value: val})
+		switch {
+		case p.tok.kind == tokPunct && p.tok.text == ",":
+			if err := p.advance(); err != nil {
+				return pred, err
+			}
+		case p.tok.kind == tokPunct && p.tok.text == "]":
+			// loop will consume it
+		default:
+			return pred, p.errorf("expected ',' or ']' in predicate, got %q", p.tok.text)
+		}
+	}
+}
+
+func (p *parser) parseValue() (graph.Value, *ParseError) {
+	switch p.tok.kind {
+	case tokString:
+		v := graph.String(p.tok.text)
+		return v, p.advance()
+	case tokNumber:
+		text := p.tok.text
+		if strings.Contains(text, ".") {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return graph.Value{}, p.errorf("bad number %q", text)
+			}
+			return graph.Float(f), p.advance()
+		}
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return graph.Value{}, p.errorf("bad number %q", text)
+		}
+		return graph.Int(i), p.advance()
+	case tokIdent:
+		switch p.tok.text {
+		case "true":
+			return graph.Bool(true), p.advance()
+		case "false":
+			return graph.Bool(false), p.advance()
+		}
+		// Bare identifiers are string literals for convenience: field = SA.
+		v := graph.String(p.tok.text)
+		return v, p.advance()
+	default:
+		return graph.Value{}, p.errorf("expected value, got %q", p.tok.text)
+	}
+}
+
+// parseEdge parses: edge A -> B bound N|*
+func (p *parser) parseEdge(pat *Pattern) *ParseError {
+	fromName, err := p.expectIdent("source node name")
+	if err != nil {
+		return err
+	}
+	if p.tok.kind != tokPunct || p.tok.text != "->" {
+		return p.errorf("expected '->', got %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return err
+	}
+	toName, err := p.expectIdent("target node name")
+	if err != nil {
+		return err
+	}
+	bound := 1
+	if p.tok.kind == tokIdent && p.tok.text == "bound" {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		switch {
+		case p.tok.kind == tokPunct && p.tok.text == "*":
+			bound = Unbounded
+			if err := p.advance(); err != nil {
+				return err
+			}
+		case p.tok.kind == tokNumber:
+			n, convErr := strconv.Atoi(p.tok.text)
+			if convErr != nil || n < 1 {
+				return p.errorf("bound must be a positive integer or '*', got %q", p.tok.text)
+			}
+			bound = n
+			if err := p.advance(); err != nil {
+				return err
+			}
+		default:
+			return p.errorf("expected bound value, got %q", p.tok.text)
+		}
+	}
+	from, ok := pat.Lookup(fromName)
+	if !ok {
+		return p.errorf("edge references undeclared node %q", fromName)
+	}
+	to, ok := pat.Lookup(toName)
+	if !ok {
+		return p.errorf("edge references undeclared node %q", toName)
+	}
+	if addErr := pat.AddEdge(from, to, bound); addErr != nil {
+		return p.errorf("%v", addErr)
+	}
+	if p.tok.kind != tokNewline && p.tok.kind != tokEOF {
+		return p.errorf("unexpected %q after edge declaration", p.tok.text)
+	}
+	return nil
+}

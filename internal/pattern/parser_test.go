@@ -1,0 +1,217 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"expfinder/internal/graph"
+)
+
+const paperDSL = `
+# hire an experienced system architect (paper Fig. 1)
+node SA [label = "SA", experience >= 5] output
+node SD [label = "SD", experience >= 2]
+node BA [label = "BA", experience >= 3]
+node ST [label = "ST", experience >= 2]
+edge SA -> SD bound 2
+edge SA -> BA bound 3
+edge SD -> ST bound 2
+edge ST -> SD bound 1
+`
+
+func TestParsePaperQuery(t *testing.T) {
+	p, err := Parse(paperDSL)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.NumNodes() != 4 || p.NumEdges() != 4 {
+		t.Fatalf("(nodes,edges) = (%d,%d), want (4,4)", p.NumNodes(), p.NumEdges())
+	}
+	sa, ok := p.Lookup("SA")
+	if !ok || p.Output() != sa {
+		t.Errorf("output node = %d, want SA", p.Output())
+	}
+	saNode := p.Node(sa)
+	if len(saNode.Pred.Conds) != 2 {
+		t.Fatalf("SA has %d conditions, want 2", len(saNode.Pred.Conds))
+	}
+	if c := saNode.Pred.Conds[1]; c.Attr != "experience" || c.Op != OpGe || !c.Value.Equal(graph.Int(5)) {
+		t.Errorf("SA condition parsed wrong: %v", c)
+	}
+	sd, _ := p.Lookup("SD")
+	edges := p.OutEdges(sa)
+	if len(edges) != 2 || edges[0].To != sd || edges[0].Bound != 2 {
+		t.Errorf("SA out-edges parsed wrong: %v", edges)
+	}
+}
+
+func TestParseUnboundedAndDefaultBounds(t *testing.T) {
+	p, err := Parse(`
+node A [x = 1] output
+node B
+edge A -> B bound *
+edge B -> A
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	a, _ := p.Lookup("A")
+	b, _ := p.Lookup("B")
+	if e := p.OutEdges(a)[0]; e.Bound != Unbounded {
+		t.Errorf("bound * parsed as %d", e.Bound)
+	}
+	if e := p.OutEdges(b)[0]; e.Bound != 1 {
+		t.Errorf("default bound = %d, want 1", e.Bound)
+	}
+	if p.Node(b).Pred.Eval(graph.Node{Label: "anything"}) != true {
+		t.Error("empty predicate should match everything")
+	}
+}
+
+func TestParseValueTypes(t *testing.T) {
+	p, err := Parse(`
+node X [s = "quoted", bare = word, n = 42, f = 2.5, neg = -3, t = true] output
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	x, _ := p.Lookup("X")
+	conds := p.Node(x).Pred.Conds
+	want := []graph.Value{
+		graph.String("quoted"), graph.String("word"), graph.Int(42),
+		graph.Float(2.5), graph.Int(-3), graph.Bool(true),
+	}
+	if len(conds) != len(want) {
+		t.Fatalf("parsed %d conds, want %d", len(conds), len(want))
+	}
+	for i, c := range conds {
+		if !c.Value.Equal(want[i]) || c.Value.Kind() != want[i].Kind() {
+			t.Errorf("cond %d value = %v(%v), want %v(%v)", i, c.Value, c.Value.Kind(), want[i], want[i].Kind())
+		}
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	p, err := Parse(`
+node X [a = 1, b != 2, c < 3, d <= 4, e > 5, f >= 6, g contains "x", h prefix "y"] output
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	x, _ := p.Lookup("X")
+	ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpContains, OpPrefix}
+	conds := p.Node(x).Pred.Conds
+	for i, c := range conds {
+		if c.Op != ops[i] {
+			t.Errorf("cond %d op = %v, want %v", i, c.Op, ops[i])
+		}
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	p, err := Parse(`node X [s = "a\"b\\c"] output`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	x, _ := p.Lookup("X")
+	if got := p.Node(x).Pred.Conds[0].Value.Str(); got != `a"b\c` {
+		t.Errorf("escaped string = %q", got)
+	}
+}
+
+func TestParseErrorsCarryPositions(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"frob A", "expected 'node' or 'edge'"},
+		{"node", "expected node name"},
+		{"node A [x ~ 1] output", "unexpected character"},
+		{"node A [x = ] output", "expected value"},
+		{"node A [x = 1 output", "expected ',' or ']'"},
+		{`node A [s = "unterminated] output`, "unterminated string"},
+		{"node A output\nedge A -> B", "undeclared node"},
+		{"node A output\nedge A B", "expected '->'"},
+		{"node A output\nnode A", "duplicate node name"},
+		{"node A output\nnode B output", "output node already designated"},
+		{"node A output\nedge A -> A bound 0", "bound must be a positive integer"},
+		{"node A output\nedge A -> A bound x", "expected bound value"},
+		{"node A\nnode B", "no output node"},
+		{"", "no nodes"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", tc.src, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("Parse(%q) err = %q, want substring %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+func TestParseErrorLineNumbers(t *testing.T) {
+	_, err := Parse("node A output\n\nnode B [x ~ 1]\n")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type = %T, want *ParseError", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("error line = %d, want 3", pe.Line)
+	}
+}
+
+func TestParseCommentsAndBlankLines(t *testing.T) {
+	p, err := Parse(`
+# leading comment
+
+node A [x = 1] output   # trailing comment
+
+# middle comment
+node B
+edge A -> B bound 2
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if p.NumNodes() != 2 || p.NumEdges() != 1 {
+		t.Errorf("(nodes,edges) = (%d,%d), want (2,1)", p.NumNodes(), p.NumEdges())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p, err := Parse(paperDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.MarshalJSON()
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	back := New()
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatalf("UnmarshalJSON: %v", err)
+	}
+	if back.Canon() != p.Canon() {
+		t.Errorf("JSON round-trip changed pattern:\n%s\nvs\n%s", p.Canon(), back.Canon())
+	}
+}
+
+func TestJSONRejectsBadPatterns(t *testing.T) {
+	cases := []string{
+		`{"nodes":[{"name":"A"}],"edges":[],"output":"Z"}`,
+		`{"nodes":[{"name":"A","conds":[{"attr":"x","op":"~","value":{"kind":"int","i":1}}]}],"edges":[],"output":"A"}`,
+		`{"nodes":[{"name":"A"}],"edges":[{"from":"A","to":"B","bound":1}],"output":"A"}`,
+		`{"nodes":[{"name":"A"},{"name":"A"}],"edges":[],"output":"A"}`,
+		`{"nodes":[{"name":"A"}],"edges":[{"from":"A","to":"A","bound":0}],"output":"A"}`,
+		`{"nodes":[],"edges":[],"output":""}`,
+		`garbage`,
+	}
+	for _, c := range cases {
+		back := New()
+		if err := back.UnmarshalJSON([]byte(c)); err == nil {
+			t.Errorf("UnmarshalJSON accepted %s", c)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package rank
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"expfinder/internal/graph"
+	"expfinder/internal/match"
+	"expfinder/internal/pattern"
+)
+
+// The paper ranks by average distance "as one of the commonly used metrics
+// in social network analysis. Note that other metrics can be readily
+// supported by ExpFinder." This file supports them: a Metric scores one
+// output-node match within a result graph, and TopKByMetric ranks under any
+// of them. All built-in metrics are normalized so that *lower is better*,
+// matching the paper's f().
+
+// Metric scores a candidate expert v within the result graph. Lower scores
+// rank higher.
+type Metric interface {
+	// Name identifies the metric in tool output.
+	Name() string
+	// Score returns the candidate's score and how many result-graph nodes
+	// are connected to it (0 connected conventionally scores +Inf).
+	Score(rg *match.ResultGraph, v graph.NodeID) (float64, int)
+}
+
+// AvgDistance is the paper's social-impact metric: the average weighted
+// distance between v and every result-graph node connected to it.
+type AvgDistance struct{}
+
+// Name implements Metric.
+func (AvgDistance) Name() string { return "avg-distance" }
+
+// Score implements Metric.
+func (AvgDistance) Score(rg *match.ResultGraph, v graph.NodeID) (float64, int) {
+	r, ok := Score(rg, v)
+	if !ok {
+		return math.Inf(1), 0
+	}
+	return r.Rank, r.Connected
+}
+
+// Closeness is classic closeness centrality inverted to lower-is-better:
+// the reciprocal of the number of connected nodes divided by their total
+// distance — equivalent ordering to AvgDistance on connected components,
+// but normalized to (0, +Inf) the standard way.
+type Closeness struct{}
+
+// Name implements Metric.
+func (Closeness) Name() string { return "closeness" }
+
+// Score implements Metric.
+func (Closeness) Score(rg *match.ResultGraph, v graph.NodeID) (float64, int) {
+	r, ok := Score(rg, v)
+	if !ok || r.Connected == 0 {
+		return math.Inf(1), 0
+	}
+	// Closeness = connected / total distance; invert for lower-is-better.
+	total := r.Rank * float64(r.Connected)
+	if total == 0 {
+		return 0, r.Connected
+	}
+	return total / float64(r.Connected*r.Connected), r.Connected
+}
+
+// Degree ranks by (negated) degree in the result graph: experts touching
+// more of the matched team come first. Distances are ignored.
+type Degree struct{}
+
+// Name implements Metric.
+func (Degree) Name() string { return "degree" }
+
+// Score implements Metric.
+func (Degree) Score(rg *match.ResultGraph, v graph.NodeID) (float64, int) {
+	if !rg.Has(v) {
+		return math.Inf(1), 0
+	}
+	deg := len(rg.Out(v)) + len(rg.In(v))
+	if deg == 0 {
+		return math.Inf(1), 0
+	}
+	return -float64(deg), deg
+}
+
+// PageRank scores by (negated) PageRank over the result graph, treating
+// result-edge weights as inverse affinities (shorter collaboration paths
+// transfer more score). Experts central to the matched team's structure
+// rank first.
+type PageRank struct {
+	// Damping defaults to 0.85; Iterations to 30.
+	Damping    float64
+	Iterations int
+}
+
+// Name implements Metric.
+func (PageRank) Name() string { return "pagerank" }
+
+// Score implements Metric — but PageRank is global, so TopKByMetric special
+// cases it; Score computes the full vector and reads one entry (correct,
+// if wasteful, for direct calls).
+func (p PageRank) Score(rg *match.ResultGraph, v graph.NodeID) (float64, int) {
+	pr := p.vector(rg)
+	score, ok := pr[v]
+	if !ok {
+		return math.Inf(1), 0
+	}
+	return -score, len(rg.Out(v)) + len(rg.In(v))
+}
+
+// vector computes PageRank over the result graph.
+func (p PageRank) vector(rg *match.ResultGraph) map[graph.NodeID]float64 {
+	damping := p.Damping
+	if damping == 0 {
+		damping = 0.85
+	}
+	iters := p.Iterations
+	if iters == 0 {
+		iters = 30
+	}
+	nodes := rg.Nodes()
+	n := len(nodes)
+	if n == 0 {
+		return nil
+	}
+	pr := make(map[graph.NodeID]float64, n)
+	for _, v := range nodes {
+		pr[v] = 1.0 / float64(n)
+	}
+	// Out-weight totals: affinity 1/weight per edge.
+	outTotal := make(map[graph.NodeID]float64, n)
+	for _, v := range nodes {
+		for _, e := range rg.Out(v) {
+			outTotal[v] += 1.0 / float64(e.Weight)
+		}
+	}
+	for it := 0; it < iters; it++ {
+		next := make(map[graph.NodeID]float64, n)
+		base := (1 - damping) / float64(n)
+		var sinkMass float64
+		for _, v := range nodes {
+			if outTotal[v] == 0 {
+				sinkMass += pr[v]
+			}
+		}
+		for _, v := range nodes {
+			next[v] = base + damping*sinkMass/float64(n)
+		}
+		for _, v := range nodes {
+			if outTotal[v] == 0 {
+				continue
+			}
+			share := damping * pr[v] / outTotal[v]
+			for _, e := range rg.Out(v) {
+				next[e.To] += share / float64(e.Weight)
+			}
+		}
+		pr = next
+	}
+	return pr
+}
+
+// bulkScorer is implemented by metrics whose scores are cheaper to compute
+// for all nodes at once (PageRank); TopKByMetric uses it when available.
+type bulkScorer interface {
+	scoreAll(rg *match.ResultGraph) map[graph.NodeID]float64
+}
+
+func (p PageRank) scoreAll(rg *match.ResultGraph) map[graph.NodeID]float64 {
+	pr := p.vector(rg)
+	out := make(map[graph.NodeID]float64, len(pr))
+	for v, s := range pr {
+		out[v] = -s
+	}
+	return out
+}
+
+// TopKByMetric ranks the output node's matches under the given metric and
+// returns the best k (k <= 0 returns all), best-first, ties broken by node
+// id. The paper's TopK equals TopKByMetric with AvgDistance{}.
+func TopKByMetric(g *graph.Graph, q *pattern.Pattern, r *match.Relation, k int, metric Metric) []Ranked {
+	rg := match.BuildResultGraph(g, q, r)
+	return TopKByMetricWithResultGraph(rg, q, r, k, metric)
+}
+
+// TopKByMetricWithResultGraph is TopKByMetric over a pre-built result graph.
+func TopKByMetricWithResultGraph(rg *match.ResultGraph, q *pattern.Pattern, r *match.Relation, k int, metric Metric) []Ranked {
+	matches := r.MatchesOf(q.Output())
+	if k <= 0 || k > len(matches) {
+		k = len(matches)
+	}
+	var bulk map[graph.NodeID]float64
+	if bs, ok := metric.(bulkScorer); ok {
+		bulk = bs.scoreAll(rg)
+	}
+	h := make(rankHeap, 0, k+1)
+	for _, v := range matches {
+		var sc Ranked
+		if bulk != nil {
+			score, ok := bulk[v]
+			if !ok {
+				score = math.Inf(1)
+			}
+			sc = Ranked{Node: v, Rank: score, Connected: len(rg.Out(v)) + len(rg.In(v))}
+		} else {
+			score, connected := metric.Score(rg, v)
+			sc = Ranked{Node: v, Rank: score, Connected: connected}
+		}
+		if len(h) < k {
+			heap.Push(&h, sc)
+			continue
+		}
+		if better(sc, h[0]) {
+			h[0] = sc
+			heap.Fix(&h, 0)
+		}
+	}
+	res := []Ranked(h)
+	sort.Slice(res, func(i, j int) bool { return better(res[i], res[j]) })
+	return res
+}

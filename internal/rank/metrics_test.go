@@ -1,0 +1,112 @@
+package rank
+
+import (
+	"math"
+	"testing"
+
+	"expfinder/internal/bsim"
+	"expfinder/internal/dataset"
+	"expfinder/internal/match"
+)
+
+func TestAvgDistanceMetricMatchesPaperTopK(t *testing.T) {
+	// The AvgDistance metric must reproduce TopK exactly (it *is* the
+	// paper's f()).
+	g, p := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	r := bsim.Compute(g, q)
+	viaMetric := TopKByMetric(g, q, r, 0, AvgDistance{})
+	direct := TopK(g, q, r, 0)
+	if len(viaMetric) != len(direct) {
+		t.Fatalf("lengths differ: %d vs %d", len(viaMetric), len(direct))
+	}
+	for i := range direct {
+		if viaMetric[i].Node != direct[i].Node || viaMetric[i].Rank != direct[i].Rank {
+			t.Errorf("entry %d: %v vs %v", i, viaMetric[i], direct[i])
+		}
+	}
+	if viaMetric[0].Node != p.Bob {
+		t.Error("AvgDistance top-1 is not Bob")
+	}
+}
+
+func TestClosenessOrdersLikeAvgDistance(t *testing.T) {
+	// Closeness is a monotone transform of AvgDistance, so the ordering of
+	// the paper example is preserved.
+	g, p := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	r := bsim.Compute(g, q)
+	top := TopKByMetric(g, q, r, 0, Closeness{})
+	if len(top) != 2 || top[0].Node != p.Bob || top[1].Node != p.Walt {
+		t.Errorf("closeness ordering = %v, want [Bob Walt]", top)
+	}
+}
+
+func TestDegreeMetric(t *testing.T) {
+	g, p := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	r := bsim.Compute(g, q)
+	top := TopKByMetric(g, q, r, 1, Degree{})
+	// Bob has result edges to Dan, Mat, Pat, Jean (degree 4); Walt to Pat
+	// and Jean (2). Bob wins.
+	if len(top) != 1 || top[0].Node != p.Bob {
+		t.Errorf("degree top-1 = %v, want Bob", top)
+	}
+	if top[0].Connected != 4 {
+		t.Errorf("Bob degree = %d, want 4", top[0].Connected)
+	}
+}
+
+func TestPageRankMetric(t *testing.T) {
+	g, p := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	r := bsim.Compute(g, q)
+	top := TopKByMetric(g, q, r, 0, PageRank{})
+	if len(top) != 2 {
+		t.Fatalf("pagerank ranked %d, want 2", len(top))
+	}
+	// Both SAs are pure sources in the result graph (nothing points at
+	// them), so they share the base PageRank and tie-break by id: Bob
+	// first. More importantly, scores must be finite and negative
+	// (negated mass), and the full vector must sum to ~1.
+	for _, e := range top {
+		if math.IsInf(e.Rank, 0) || e.Rank >= 0 {
+			t.Errorf("pagerank score out of range: %v", e)
+		}
+	}
+	if top[0].Node != p.Bob {
+		t.Errorf("pagerank top-1 = %v, want Bob by tie-break", top[0])
+	}
+	rg := match.BuildResultGraph(g, q, r)
+	vec := PageRank{}.vector(rg)
+	sum := 0.0
+	for _, s := range vec {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("pagerank mass = %v, want 1", sum)
+	}
+}
+
+func TestMetricsOnUnmatchedNode(t *testing.T) {
+	g, _ := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	r := bsim.Compute(g, q)
+	rg := match.BuildResultGraph(g, q, r)
+	for _, m := range []Metric{AvgDistance{}, Closeness{}, Degree{}, PageRank{}} {
+		score, connected := m.Score(rg, 9999)
+		if !math.IsInf(score, 1) || connected != 0 {
+			t.Errorf("%s on unknown node = (%v,%d), want (+Inf,0)", m.Name(), score, connected)
+		}
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, m := range []Metric{AvgDistance{}, Closeness{}, Degree{}, PageRank{}} {
+		if m.Name() == "" || names[m.Name()] {
+			t.Errorf("metric name %q empty or duplicated", m.Name())
+		}
+		names[m.Name()] = true
+	}
+}

@@ -1,0 +1,134 @@
+// Package rank implements ExpFinder's social-impact ranking, the facility
+// the demo adds on top of the earlier matching work: among the matches of
+// the pattern's output node, prefer experts with short collaboration
+// distances to the rest of the matched team.
+//
+// Given the weighted result graph Gr and a match v of the output node, the
+// rank is
+//
+//	f(uo, v) = (Σ_{u ∈ Vr} dist(u, v) + Σ_{u' ∈ Vr} dist(v, u')) / |Vr'|
+//
+// where distances are weighted shortest paths in Gr and Vr' is the set of
+// nodes that can reach v or be reached from v. Lower is better; the top-K
+// matches are the K with minimum rank.
+package rank
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"expfinder/internal/graph"
+	"expfinder/internal/match"
+	"expfinder/internal/pattern"
+)
+
+// Ranked is one output-node match with its social-impact rank.
+type Ranked struct {
+	Node graph.NodeID
+	// Rank is the average distance between the match and the result-graph
+	// nodes connected to it. Matches connected to nothing rank +Inf.
+	Rank float64
+	// Connected is |Vr'|: how many other matched nodes the expert is
+	// connected to in the result graph.
+	Connected int
+}
+
+// Score computes the rank of a single output-node match within a result
+// graph. The boolean is false when v is not a node of the result graph.
+func Score(rg *match.ResultGraph, v graph.NodeID) (Ranked, bool) {
+	if !rg.Has(v) {
+		return Ranked{}, false
+	}
+	down := rg.Distances(v, false) // v to descendants
+	up := rg.Distances(v, true)    // ancestors to v
+	sum := 0
+	connected := map[graph.NodeID]bool{}
+	for w, d := range down {
+		if w == v {
+			continue
+		}
+		sum += d
+		connected[w] = true
+	}
+	for w, d := range up {
+		if w == v {
+			continue
+		}
+		sum += d
+		connected[w] = true
+	}
+	r := Ranked{Node: v, Connected: len(connected)}
+	if len(connected) == 0 {
+		r.Rank = math.Inf(1)
+	} else {
+		r.Rank = float64(sum) / float64(len(connected))
+	}
+	return r, true
+}
+
+// rankHeap is a bounded max-heap over ranks: the worst (largest) rank sits
+// at the top so it can be evicted when a better candidate arrives.
+type rankHeap []Ranked
+
+func (h rankHeap) Len() int { return len(h) }
+func (h rankHeap) Less(i, j int) bool {
+	if h[i].Rank != h[j].Rank {
+		return h[i].Rank > h[j].Rank
+	}
+	return h[i].Node > h[j].Node
+}
+func (h rankHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *rankHeap) Push(x any)   { *h = append(*h, x.(Ranked)) }
+func (h *rankHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// better reports whether a should be preferred to b (lower rank, ties
+// broken by node id for determinism).
+func better(a, b Ranked) bool {
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
+	}
+	return a.Node < b.Node
+}
+
+// TopK scores every match of the pattern's output node in the relation and
+// returns the K best (lowest rank), ordered best-first. K <= 0 returns all
+// matches ranked. Ties break deterministically by node id.
+func TopK(g *graph.Graph, q *pattern.Pattern, r *match.Relation, k int) []Ranked {
+	rg := match.BuildResultGraph(g, q, r)
+	return TopKWithResultGraph(rg, q, r, k)
+}
+
+// TopKWithResultGraph is TopK for callers that already built the result
+// graph (the engine builds it once and reuses it for display and ranking).
+func TopKWithResultGraph(rg *match.ResultGraph, q *pattern.Pattern, r *match.Relation, k int) []Ranked {
+	out := q.Output()
+	matches := r.MatchesOf(out)
+	if k <= 0 || k > len(matches) {
+		k = len(matches)
+	}
+	h := make(rankHeap, 0, k+1)
+	for _, v := range matches {
+		sc, ok := Score(rg, v)
+		if !ok {
+			continue
+		}
+		if len(h) < k {
+			heap.Push(&h, sc)
+			continue
+		}
+		if better(sc, h[0]) {
+			h[0] = sc
+			heap.Fix(&h, 0)
+		}
+	}
+	res := []Ranked(h)
+	sort.Slice(res, func(i, j int) bool { return better(res[i], res[j]) })
+	return res
+}

@@ -1,0 +1,161 @@
+package rank
+
+import (
+	"math"
+	"testing"
+
+	"expfinder/internal/bsim"
+	"expfinder/internal/dataset"
+	"expfinder/internal/graph"
+	"expfinder/internal/match"
+	"expfinder/internal/pattern"
+)
+
+// TestPaperExample2 is the acceptance test for the paper's Example 2:
+// f(SA,Bob) = 9/5, f(SA,Walt) = 7/3, Bob is the top-1 SA expert.
+func TestPaperExample2(t *testing.T) {
+	g, p := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	r := bsim.Compute(g, q)
+	rg := match.BuildResultGraph(g, q, r)
+
+	bob, ok := Score(rg, p.Bob)
+	if !ok {
+		t.Fatal("Bob missing from result graph")
+	}
+	if want := 9.0 / 5.0; math.Abs(bob.Rank-want) > 1e-12 {
+		t.Errorf("f(SA,Bob) = %v, want 9/5", bob.Rank)
+	}
+	if bob.Connected != 5 {
+		t.Errorf("|V'r| for Bob = %d, want 5", bob.Connected)
+	}
+
+	walt, ok := Score(rg, p.Walt)
+	if !ok {
+		t.Fatal("Walt missing from result graph")
+	}
+	if want := 7.0 / 3.0; math.Abs(walt.Rank-want) > 1e-12 {
+		t.Errorf("f(SA,Walt) = %v, want 7/3", walt.Rank)
+	}
+	if walt.Connected != 3 {
+		t.Errorf("|V'r| for Walt = %d, want 3", walt.Connected)
+	}
+
+	top := TopK(g, q, r, 1)
+	if len(top) != 1 || top[0].Node != p.Bob {
+		t.Errorf("top-1 = %v, want Bob (%d)", top, p.Bob)
+	}
+}
+
+func TestTopKOrderingAndTruncation(t *testing.T) {
+	g, p := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	r := bsim.Compute(g, q)
+
+	all := TopK(g, q, r, 0) // K <= 0 means all
+	if len(all) != 2 {
+		t.Fatalf("all ranked = %d entries, want 2", len(all))
+	}
+	if all[0].Node != p.Bob || all[1].Node != p.Walt {
+		t.Errorf("ordering = %v, want [Bob Walt]", all)
+	}
+	if all[0].Rank > all[1].Rank {
+		t.Error("ranks not ascending")
+	}
+	if got := TopK(g, q, r, 5); len(got) != 2 {
+		t.Errorf("K larger than matches returned %d entries", len(got))
+	}
+}
+
+func TestScoreUnknownNode(t *testing.T) {
+	g, _ := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	r := bsim.Compute(g, q)
+	rg := match.BuildResultGraph(g, q, r)
+	if _, ok := Score(rg, graph.NodeID(999)); ok {
+		t.Error("Score accepted a node outside the result graph")
+	}
+}
+
+func TestIsolatedMatchRanksInfinity(t *testing.T) {
+	// Single-node pattern: matches have no result edges, so rank is +Inf
+	// and Connected is 0.
+	g := graph.New(2)
+	v := g.AddNode("X", nil)
+	g.AddNode("X", nil)
+	q := pattern.New()
+	x := q.MustAddNode("X", pattern.Predicate{}.And(pattern.LabelAttr, pattern.OpEq, graph.String("X")))
+	if err := q.SetOutput(x); err != nil {
+		t.Fatal(err)
+	}
+	r := bsim.Compute(g, q)
+	rg := match.BuildResultGraph(g, q, r)
+	sc, ok := Score(rg, v)
+	if !ok {
+		t.Fatal("match missing from result graph")
+	}
+	if !math.IsInf(sc.Rank, 1) || sc.Connected != 0 {
+		t.Errorf("isolated match rank = %v (connected %d), want +Inf (0)", sc.Rank, sc.Connected)
+	}
+}
+
+func TestTiesBreakByNodeID(t *testing.T) {
+	// Two symmetric output matches get identical ranks; the smaller id wins.
+	g := graph.New(4)
+	a1 := g.AddNode("A", nil)
+	a2 := g.AddNode("A", nil)
+	b1 := g.AddNode("B", nil)
+	b2 := g.AddNode("B", nil)
+	for _, e := range [][2]graph.NodeID{{a1, b1}, {a2, b2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := pattern.New()
+	qa := q.MustAddNode("A", pattern.Predicate{}.And(pattern.LabelAttr, pattern.OpEq, graph.String("A")))
+	qb := q.MustAddNode("B", pattern.Predicate{}.And(pattern.LabelAttr, pattern.OpEq, graph.String("B")))
+	q.MustAddEdge(qa, qb, 1)
+	if err := q.SetOutput(qa); err != nil {
+		t.Fatal(err)
+	}
+	r := bsim.Compute(g, q)
+	top := TopK(g, q, r, 1)
+	if len(top) != 1 || top[0].Node != a1 {
+		t.Errorf("tie-break top-1 = %v, want node %d", top, a1)
+	}
+	// And the full ranking is deterministic.
+	all := TopK(g, q, r, 0)
+	if all[0].Node != a1 || all[1].Node != a2 {
+		t.Errorf("tie ordering = %v", all)
+	}
+}
+
+func TestRankAccountsForBothDirections(t *testing.T) {
+	// v is an ancestor of one node and descendant of another; both count.
+	g := graph.New(3)
+	up := g.AddNode("U", nil)
+	mid := g.AddNode("M", nil)
+	down := g.AddNode("D", nil)
+	if err := g.AddEdge(up, mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(mid, down); err != nil {
+		t.Fatal(err)
+	}
+	q := pattern.New()
+	qu := q.MustAddNode("U", pattern.Predicate{}.And(pattern.LabelAttr, pattern.OpEq, graph.String("U")))
+	qm := q.MustAddNode("M", pattern.Predicate{}.And(pattern.LabelAttr, pattern.OpEq, graph.String("M")))
+	qd := q.MustAddNode("D", pattern.Predicate{}.And(pattern.LabelAttr, pattern.OpEq, graph.String("D")))
+	q.MustAddEdge(qu, qm, 1)
+	q.MustAddEdge(qm, qd, 1)
+	if err := q.SetOutput(qm); err != nil {
+		t.Fatal(err)
+	}
+	r := bsim.Compute(g, q)
+	rg := match.BuildResultGraph(g, q, r)
+	sc, _ := Score(rg, mid)
+	// dist(up,mid)=1 + dist(mid,down)=1, connected = 2 => rank 1.
+	if sc.Rank != 1.0 || sc.Connected != 2 {
+		t.Errorf("rank = %v connected = %d, want 1.0 and 2", sc.Rank, sc.Connected)
+	}
+}

@@ -1,0 +1,546 @@
+// Package server exposes ExpFinder over HTTP/JSON — the library's
+// replacement for the demo's desktop GUI. Every GUI capability maps onto
+// an endpoint: managing data graphs (Graph Editor), constructing and
+// running pattern queries (Pattern Builder), browsing result graphs and
+// top-K experts (match views, via DOT export), applying updates (dynamic
+// graphs), and compressing graphs (Graph Compressor).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"expfinder/internal/compress"
+	"expfinder/internal/engine"
+	"expfinder/internal/generator"
+	"expfinder/internal/graph"
+	"expfinder/internal/incremental"
+	"expfinder/internal/match"
+	"expfinder/internal/pattern"
+	"expfinder/internal/rank"
+	"expfinder/internal/strongsim"
+	"expfinder/internal/viz"
+)
+
+// Server wires an engine into an http.Handler.
+type Server struct {
+	eng *engine.Engine
+	mux *http.ServeMux
+}
+
+// New returns a server over the given engine.
+func New(eng *engine.Engine) *Server {
+	s := &Server{eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /api/graphs", s.listGraphs)
+	s.mux.HandleFunc("POST /api/graphs/{name}", s.createGraph)
+	s.mux.HandleFunc("GET /api/graphs/{name}", s.getGraph)
+	s.mux.HandleFunc("DELETE /api/graphs/{name}", s.deleteGraph)
+	s.mux.HandleFunc("GET /api/graphs/{name}/stats", s.graphStats)
+	s.mux.HandleFunc("GET /api/graphs/{name}/dot", s.graphDOT)
+	s.mux.HandleFunc("POST /api/graphs/{name}/query", s.query)
+	s.mux.HandleFunc("POST /api/graphs/{name}/updates", s.applyUpdates)
+	s.mux.HandleFunc("POST /api/graphs/{name}/nodes", s.addNode)
+	s.mux.HandleFunc("DELETE /api/graphs/{name}/nodes/{id}", s.removeNode)
+	s.mux.HandleFunc("POST /api/graphs/{name}/nodes/{id}/attrs", s.setNodeAttrs)
+	s.mux.HandleFunc("POST /api/graphs/{name}/compress", s.compressGraph)
+	s.mux.HandleFunc("DELETE /api/graphs/{name}/compress", s.dropCompression)
+	s.mux.HandleFunc("POST /api/graphs/{name}/register", s.registerQuery)
+	s.mux.HandleFunc("GET /api/cache/stats", s.cacheStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type errBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errBody{Error: err.Error()})
+}
+
+// statusFor maps engine errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrNoGraph):
+		return http.StatusNotFound
+	case errors.Is(err, engine.ErrGraphExists):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) listGraphs(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name  string `json:"name"`
+		Nodes int    `json:"nodes"`
+		Edges int    `json:"edges"`
+	}
+	var out []entry
+	for _, name := range s.eng.ListGraphs() {
+		g, err := s.eng.Graph(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, entry{Name: name, Nodes: g.NumNodes(), Edges: g.NumEdges()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// createGraphRequest uploads a graph directly or asks for a generated one.
+type createGraphRequest struct {
+	// Graph, when set, is a full graph in the standard JSON form.
+	Graph json.RawMessage `json:"graph,omitempty"`
+	// Generator, when set, generates a synthetic graph instead.
+	Generator *struct {
+		Kind      string  `json:"kind"`
+		Nodes     int     `json:"nodes"`
+		AvgDegree float64 `json:"avg_degree"`
+		Seed      int64   `json:"seed"`
+	} `json:"generator,omitempty"`
+}
+
+func (s *Server) createGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var req createGraphRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	var g *graph.Graph
+	switch {
+	case req.Generator != nil:
+		g, err = generator.Generate(generator.Kind(req.Generator.Kind), generator.Config{
+			Nodes: req.Generator.Nodes, AvgDegree: req.Generator.AvgDegree, Seed: req.Generator.Seed,
+		})
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	case req.Graph != nil:
+		g = graph.New(0)
+		if err := g.UnmarshalJSON(req.Graph); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, errors.New("request needs either graph or generator"))
+		return
+	}
+	if err := s.eng.AddGraph(name, g); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name": name, "nodes": g.NumNodes(), "edges": g.NumEdges(),
+	})
+}
+
+func (s *Server) getGraph(w http.ResponseWriter, r *http.Request) {
+	g, err := s.eng.Graph(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = g.WriteJSON(w)
+}
+
+func (s *Server) deleteGraph(w http.ResponseWriter, r *http.Request) {
+	if err := s.eng.RemoveGraph(r.PathValue("name")); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) graphStats(w http.ResponseWriter, r *http.Request) {
+	g, err := s.eng.Graph(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	st := g.ComputeStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"nodes": st.Nodes, "edges": st.Edges,
+		"max_out_degree": st.MaxOutDeg, "max_in_degree": st.MaxInDeg,
+		"labels": st.Labels, "version": g.Version(),
+	})
+}
+
+func (s *Server) graphDOT(w http.ResponseWriter, r *http.Request) {
+	g, err := s.eng.Graph(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz")
+	_ = viz.WriteGraph(w, g, viz.Options{MaxNodes: 500, DrillDown: r.URL.Query().Get("drilldown") == "1"})
+}
+
+// queryRequest carries a pattern in JSON form or DSL text, plus K and an
+// optional matching semantics ("bounded" default, or "dual": additionally
+// enforce ancestor obligations).
+type queryRequest struct {
+	Pattern   json.RawMessage `json:"pattern,omitempty"`
+	DSL       string          `json:"dsl,omitempty"`
+	K         int             `json:"k"`
+	Semantics string          `json:"semantics,omitempty"`
+	// Metric selects the ranking: avg-distance (default), closeness,
+	// degree, or pagerank.
+	Metric string `json:"metric,omitempty"`
+}
+
+// metricByName resolves a ranking metric; "" means the paper's default.
+func metricByName(name string) (rank.Metric, error) {
+	switch name {
+	case "", rank.AvgDistance{}.Name():
+		return rank.AvgDistance{}, nil
+	case rank.Closeness{}.Name():
+		return rank.Closeness{}, nil
+	case rank.Degree{}.Name():
+		return rank.Degree{}, nil
+	case (rank.PageRank{}).Name():
+		return rank.PageRank{}, nil
+	default:
+		return nil, fmt.Errorf("unknown metric %q", name)
+	}
+}
+
+// queryResponse is the full query answer.
+type queryResponse struct {
+	Plan      string             `json:"plan"`
+	Source    string             `json:"source"`
+	ElapsedUS int64              `json:"elapsed_us"`
+	Matches   map[string][]int64 `json:"matches"`
+	TopK      []topEntry         `json:"top_k"`
+	ResultDOT string             `json:"result_dot,omitempty"`
+}
+
+type topEntry struct {
+	Node      int64   `json:"node"`
+	Name      string  `json:"name,omitempty"`
+	Rank      float64 `json:"rank"`
+	Connected int     `json:"connected"`
+}
+
+func parsePattern(req queryRequest) (*pattern.Pattern, error) {
+	switch {
+	case req.DSL != "":
+		return pattern.Parse(req.DSL)
+	case req.Pattern != nil:
+		q := pattern.New()
+		if err := q.UnmarshalJSON(req.Pattern); err != nil {
+			return nil, err
+		}
+		return q, nil
+	default:
+		return nil, errors.New("request needs pattern or dsl")
+	}
+}
+
+func (s *Server) query(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := parsePattern(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	g, err := s.eng.Graph(name)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	metric, err := metricByName(req.Metric)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var res *engine.Result
+	switch req.Semantics {
+	case "", "bounded":
+		res, err = s.eng.Query(name, q, req.K)
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		if req.Metric != "" && req.Metric != (rank.AvgDistance{}).Name() {
+			res.TopK = rank.TopKByMetricWithResultGraph(res.ResultGraph, q, res.Relation, req.K, metric)
+		}
+	case "dual":
+		// Dual simulation bypasses the engine pipeline (no cache or
+		// compression routing is defined for it); evaluated directly.
+		if err := q.Validate(); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		start := time.Now()
+		rel := strongsim.Dual(g, q)
+		rg := match.BuildResultGraph(g, q, rel)
+		res = &engine.Result{
+			Relation:    rel,
+			ResultGraph: rg,
+			TopK:        rank.TopKByMetricWithResultGraph(rg, q, rel, req.K, metric),
+			Plan:        "dual-simulation",
+			Source:      engine.SourceDirect,
+			Elapsed:     time.Since(start),
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown semantics %q", req.Semantics))
+		return
+	}
+	resp := queryResponse{
+		Plan:      string(res.Plan),
+		Source:    string(res.Source),
+		ElapsedUS: res.Elapsed.Microseconds(),
+		Matches:   map[string][]int64{},
+	}
+	for i := 0; i < q.NumNodes(); i++ {
+		idx := pattern.NodeIdx(i)
+		ids := res.Relation.MatchesOf(idx)
+		out := make([]int64, len(ids))
+		for j, id := range ids {
+			out[j] = int64(id)
+		}
+		resp.Matches[q.Node(idx).Name] = out
+	}
+	for _, t := range res.TopK {
+		entry := topEntry{Node: int64(t.Node), Rank: t.Rank, Connected: t.Connected}
+		if v, ok := g.Attr(t.Node, "name"); ok {
+			entry.Name = v.Str()
+		}
+		resp.TopK = append(resp.TopK, entry)
+	}
+	if r.URL.Query().Get("dot") == "1" {
+		var dot jsonBuilder
+		if err := viz.WriteTopK(&dot, g, res.ResultGraph, res.TopK, viz.Options{}); err == nil {
+			resp.ResultDOT = dot.String()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// jsonBuilder is a tiny strings.Builder alias implementing io.Writer.
+type jsonBuilder struct{ buf []byte }
+
+func (b *jsonBuilder) Write(p []byte) (int, error) {
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+func (b *jsonBuilder) String() string { return string(b.buf) }
+
+// updateRequest applies a batch of edge updates.
+type updateRequest struct {
+	Ops []struct {
+		Op   string `json:"op"` // "insert" | "delete"
+		From int64  `json:"from"`
+		To   int64  `json:"to"`
+	} `json:"ops"`
+}
+
+func (s *Server) applyUpdates(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req updateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ops := make([]incremental.Update, 0, len(req.Ops))
+	for _, o := range req.Ops {
+		switch o.Op {
+		case "insert":
+			ops = append(ops, incremental.Insert(graph.NodeID(o.From), graph.NodeID(o.To)))
+		case "delete":
+			ops = append(ops, incremental.Delete(graph.NodeID(o.From), graph.NodeID(o.To)))
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown op %q", o.Op))
+			return
+		}
+	}
+	deltas, err := s.eng.ApplyUpdates(name, ops)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	type deltaBody struct {
+		PatternHash string `json:"pattern_hash"`
+		Added       int    `json:"added"`
+		Removed     int    `json:"removed"`
+	}
+	out := make([]deltaBody, 0, len(deltas))
+	for _, d := range deltas {
+		out = append(out, deltaBody{PatternHash: d.PatternHash, Added: len(d.Added), Removed: len(d.Removed)})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"applied": len(ops), "deltas": out})
+}
+
+// addNodeRequest creates one node.
+type addNodeRequest struct {
+	Label string                 `json:"label"`
+	Attrs map[string]graph.Value `json:"attrs,omitempty"`
+}
+
+func (s *Server) addNode(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req addNodeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	attrs := graph.Attrs(req.Attrs)
+	id, err := s.eng.AddNode(name, req.Label, attrs)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int64{"id": int64(id)})
+}
+
+func parseNodeID(r *http.Request) (graph.NodeID, error) {
+	raw := r.PathValue("id")
+	id, err := json.Number(raw).Int64()
+	if err != nil || id < 0 {
+		return graph.Invalid, fmt.Errorf("bad node id %q", raw)
+	}
+	return graph.NodeID(id), nil
+}
+
+func (s *Server) removeNode(w http.ResponseWriter, r *http.Request) {
+	id, err := parseNodeID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.eng.RemoveNode(r.PathValue("name"), id); err != nil {
+		status := statusFor(err)
+		if errors.Is(err, graph.ErrNoNode) {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) setNodeAttrs(w http.ResponseWriter, r *http.Request) {
+	id, err := parseNodeID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var attrs map[string]graph.Value
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&attrs); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	name := r.PathValue("name")
+	for key, v := range attrs {
+		if err := s.eng.SetNodeAttr(name, id, key, v); err != nil {
+			status := statusFor(err)
+			if errors.Is(err, graph.ErrNoNode) {
+				status = http.StatusNotFound
+			}
+			writeErr(w, status, err)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// compressRequest selects a compression scheme and attribute view.
+type compressRequest struct {
+	Scheme string   `json:"scheme"` // "bisimulation" (default) | "simulation-equivalence"
+	View   []string `json:"view,omitempty"`
+	// FullView distinguishes all attributes (ignores View).
+	FullView bool `json:"full_view,omitempty"`
+}
+
+func (s *Server) compressGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req compressRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	scheme := compress.Bisimulation
+	if req.Scheme == compress.SimulationEquivalence.String() {
+		scheme = compress.SimulationEquivalence
+	} else if req.Scheme != "" && req.Scheme != compress.Bisimulation.String() {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown scheme %q", req.Scheme))
+		return
+	}
+	var view compress.View
+	if !req.FullView {
+		view = compress.View(req.View)
+		if req.View == nil {
+			view = compress.View{}
+		}
+	}
+	c, err := s.eng.CompressGraph(name, scheme, view)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"scheme": scheme.String(),
+		"nodes":  c.Graph().NumNodes(),
+		"edges":  c.Graph().NumEdges(),
+		"ratio":  c.Ratio(),
+	})
+}
+
+func (s *Server) dropCompression(w http.ResponseWriter, r *http.Request) {
+	if err := s.eng.DropCompression(r.PathValue("name")); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) registerQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := parsePattern(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.eng.RegisterQuery(name, q); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"registered": q.Hash()})
+}
+
+func (s *Server) cacheStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.CacheStats()
+	writeJSON(w, http.StatusOK, map[string]int{
+		"hits": st.Hits, "misses": st.Misses, "evictions": st.Evictions, "entries": st.Entries,
+	})
+}

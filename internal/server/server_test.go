@@ -1,0 +1,424 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"expfinder/internal/dataset"
+	"expfinder/internal/engine"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	eng := engine.New(engine.Options{})
+	ts := httptest.NewServer(New(eng))
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+func do(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd *bytes.Reader
+	switch b := body.(type) {
+	case nil:
+		rd = bytes.NewReader(nil)
+	case string:
+		rd = bytes.NewReader([]byte(b))
+	default:
+		data, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func uploadPaperGraph(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	g, _ := dataset.PaperGraph()
+	gj, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := do(t, "POST", ts.URL+"/api/graphs/paper",
+		fmt.Sprintf(`{"graph": %s}`, gj))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create graph: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestGraphCRUD(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+
+	resp, body := do(t, "GET", ts.URL+"/api/graphs", nil)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"paper"`) {
+		t.Fatalf("list: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body = do(t, "GET", ts.URL+"/api/graphs/paper/stats", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats: %d %s", resp.StatusCode, body)
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["nodes"].(float64) != 10 {
+		t.Errorf("stats nodes = %v, want 10", stats["nodes"])
+	}
+
+	resp, _ = do(t, "GET", ts.URL+"/api/graphs/paper", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("get graph: %d", resp.StatusCode)
+	}
+
+	resp, _ = do(t, "DELETE", ts.URL+"/api/graphs/paper", nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+	resp, _ = do(t, "GET", ts.URL+"/api/graphs/paper/stats", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stats after delete: %d", resp.StatusCode)
+	}
+}
+
+func TestDuplicateGraphConflicts(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+	g, _ := dataset.PaperGraph()
+	gj, _ := g.MarshalJSON()
+	resp, _ := do(t, "POST", ts.URL+"/api/graphs/paper", fmt.Sprintf(`{"graph": %s}`, gj))
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate create: %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestGeneratedGraph(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := do(t, "POST", ts.URL+"/api/graphs/synth",
+		`{"generator": {"kind": "collab", "nodes": 200, "avg_degree": 4, "seed": 1}}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("generate: %d %s", resp.StatusCode, body)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["nodes"].(float64) != 200 {
+		t.Errorf("generated nodes = %v", out["nodes"])
+	}
+	// Unknown generator kind is a 400.
+	resp, _ = do(t, "POST", ts.URL+"/api/graphs/bad",
+		`{"generator": {"kind": "nope", "nodes": 10}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad generator: %d", resp.StatusCode)
+	}
+}
+
+func TestQueryViaDSL(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+	req := map[string]any{"dsl": dataset.PaperQueryDSL, "k": 1}
+	resp, body := do(t, "POST", ts.URL+"/api/graphs/paper/query?dot=1", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Plan    string             `json:"plan"`
+		Source  string             `json:"source"`
+		Matches map[string][]int64 `json:"matches"`
+		TopK    []struct {
+			Name string  `json:"name"`
+			Rank float64 `json:"rank"`
+		} `json:"top_k"`
+		ResultDOT string `json:"result_dot"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Plan != "bounded-simulation" {
+		t.Errorf("plan = %q", out.Plan)
+	}
+	if len(out.Matches["SA"]) != 2 || len(out.Matches["SD"]) != 3 {
+		t.Errorf("matches = %v", out.Matches)
+	}
+	if len(out.TopK) != 1 || out.TopK[0].Name != "Bob" {
+		t.Errorf("topK = %v, want Bob", out.TopK)
+	}
+	if !strings.Contains(out.ResultDOT, "digraph Result") ||
+		!strings.Contains(out.ResultDOT, "color=red") {
+		t.Error("result DOT missing or lacks highlight")
+	}
+}
+
+func TestQueryViaJSONPattern(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+	q := dataset.PaperQuery()
+	pj, err := q.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := do(t, "POST", ts.URL+"/api/graphs/paper/query",
+		fmt.Sprintf(`{"pattern": %s, "k": 2}`, pj))
+	if resp.StatusCode != 200 {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`{"dsl": "node A output", "k": 1}`, 200}, // trivial but valid
+		{`{"dsl": "frobnicate", "k": 1}`, 400},
+		{`{}`, 400},
+		{`not even json`, 400},
+	}
+	for _, tc := range cases {
+		resp, body := do(t, "POST", ts.URL+"/api/graphs/paper/query", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("query %q: %d (%s), want %d", tc.body, resp.StatusCode, body, tc.want)
+		}
+	}
+	resp, _ := do(t, "POST", ts.URL+"/api/graphs/missing/query", `{"dsl": "node A output"}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("query on missing graph: %d", resp.StatusCode)
+	}
+}
+
+func TestUpdateFlow(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+	_, p := dataset.PaperGraph()
+
+	// Register the paper query, apply e1, check the delta counts.
+	resp, body := do(t, "POST", ts.URL+"/api/graphs/paper/register",
+		map[string]any{"dsl": dataset.PaperQueryDSL})
+	if resp.StatusCode != 200 {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	e1 := dataset.E1(p)
+	resp, body = do(t, "POST", ts.URL+"/api/graphs/paper/updates", map[string]any{
+		"ops": []map[string]any{{"op": "insert", "from": e1.From, "to": e1.To}},
+	})
+	if resp.StatusCode != 200 {
+		t.Fatalf("updates: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Applied int `json:"applied"`
+		Deltas  []struct {
+			Added   int `json:"added"`
+			Removed int `json:"removed"`
+		} `json:"deltas"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Applied != 1 || len(out.Deltas) != 1 || out.Deltas[0].Added != 1 || out.Deltas[0].Removed != 0 {
+		t.Errorf("update response = %+v, want 1 applied, 1 added", out)
+	}
+	// Bad op rejected.
+	resp, _ = do(t, "POST", ts.URL+"/api/graphs/paper/updates",
+		`{"ops": [{"op": "frob", "from": 0, "to": 1}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad op: %d", resp.StatusCode)
+	}
+}
+
+func TestCompressEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+	resp, body := do(t, "POST", ts.URL+"/api/graphs/paper/compress",
+		`{"scheme": "simulation-equivalence", "view": []}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("compress: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Scheme string  `json:"scheme"`
+		Nodes  int     `json:"nodes"`
+		Ratio  float64 `json:"ratio"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Nodes >= 10 || out.Ratio <= 0 {
+		t.Errorf("compression did not shrink: %+v", out)
+	}
+	resp, _ = do(t, "DELETE", ts.URL+"/api/graphs/paper/compress", nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("drop compression: %d", resp.StatusCode)
+	}
+	// Unknown scheme.
+	resp, _ = do(t, "POST", ts.URL+"/api/graphs/paper/compress", `{"scheme": "zip"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad scheme: %d", resp.StatusCode)
+	}
+}
+
+func TestDOTEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+	resp, body := do(t, "GET", ts.URL+"/api/graphs/paper/dot?drilldown=1", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("dot: %d", resp.StatusCode)
+	}
+	s := string(body)
+	if !strings.Contains(s, "digraph G") || !strings.Contains(s, "Bob") ||
+		!strings.Contains(s, "experience") {
+		t.Errorf("dot output incomplete: %.200s", s)
+	}
+}
+
+func TestQueryDualSemantics(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+	resp, body := do(t, "POST", ts.URL+"/api/graphs/paper/query",
+		map[string]any{"dsl": dataset.PaperQueryDSL, "k": 2, "semantics": "dual"})
+	if resp.StatusCode != 200 {
+		t.Fatalf("dual query: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Plan    string             `json:"plan"`
+		Matches map[string][]int64 `json:"matches"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Plan != "dual-simulation" {
+		t.Errorf("plan = %q", out.Plan)
+	}
+	// Dual is a subset: still matches Fig. 1's SAs.
+	if len(out.Matches["SA"]) == 0 {
+		t.Errorf("dual matches = %v", out.Matches)
+	}
+	// Unknown semantics rejected.
+	resp, _ = do(t, "POST", ts.URL+"/api/graphs/paper/query",
+		map[string]any{"dsl": dataset.PaperQueryDSL, "semantics": "psychic"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad semantics: %d", resp.StatusCode)
+	}
+}
+
+func TestQueryMetricSelection(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+	for _, metric := range []string{"", "avg-distance", "closeness", "degree", "pagerank"} {
+		resp, body := do(t, "POST", ts.URL+"/api/graphs/paper/query",
+			map[string]any{"dsl": dataset.PaperQueryDSL, "k": 1, "metric": metric})
+		if resp.StatusCode != 200 {
+			t.Fatalf("metric %q: %d %s", metric, resp.StatusCode, body)
+		}
+		var out struct {
+			TopK []struct {
+				Name string `json:"name"`
+			} `json:"top_k"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		// Bob wins under every built-in metric on Fig. 1.
+		if len(out.TopK) != 1 || out.TopK[0].Name != "Bob" {
+			t.Errorf("metric %q top-1 = %v, want Bob", metric, out.TopK)
+		}
+	}
+	resp, _ := do(t, "POST", ts.URL+"/api/graphs/paper/query",
+		map[string]any{"dsl": dataset.PaperQueryDSL, "metric": "astrology"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad metric: %d", resp.StatusCode)
+	}
+}
+
+func TestNodeEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+
+	// Add a senior SA.
+	resp, body := do(t, "POST", ts.URL+"/api/graphs/paper/nodes",
+		`{"label": "SA", "attrs": {"name": {"kind":"string","s":"Zed"}, "experience": {"kind":"int","i":9}}}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("add node: %d %s", resp.StatusCode, body)
+	}
+	var created map[string]int64
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	id := created["id"]
+
+	// Update their experience.
+	resp, body = do(t, "POST", fmt.Sprintf("%s/api/graphs/paper/nodes/%d/attrs", ts.URL, id),
+		`{"experience": {"kind":"int","i":12}}`)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("set attrs: %d %s", resp.StatusCode, body)
+	}
+
+	// Remove them.
+	resp, _ = do(t, "DELETE", fmt.Sprintf("%s/api/graphs/paper/nodes/%d", ts.URL, id), nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("remove node: %d", resp.StatusCode)
+	}
+	// Double-remove is a 404.
+	resp, _ = do(t, "DELETE", fmt.Sprintf("%s/api/graphs/paper/nodes/%d", ts.URL, id), nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("double remove: %d", resp.StatusCode)
+	}
+	// Bad id is a 400.
+	resp, _ = do(t, "DELETE", ts.URL+"/api/graphs/paper/nodes/banana", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id: %d", resp.StatusCode)
+	}
+	// Graph is intact.
+	resp, body = do(t, "GET", ts.URL+"/api/graphs/paper/stats", nil)
+	if resp.StatusCode != 200 {
+		t.Fatal("stats after node ops")
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["nodes"].(float64) != 10 {
+		t.Errorf("nodes = %v, want 10 after add+remove", stats["nodes"])
+	}
+}
+
+func TestCacheStatsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+	req := map[string]any{"dsl": dataset.PaperQueryDSL, "k": 1}
+	do(t, "POST", ts.URL+"/api/graphs/paper/query", req)
+	do(t, "POST", ts.URL+"/api/graphs/paper/query", req)
+	resp, body := do(t, "GET", ts.URL+"/api/cache/stats", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("cache stats: %d", resp.StatusCode)
+	}
+	var st map[string]int
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st["hits"] < 1 {
+		t.Errorf("cache stats = %v, want at least one hit", st)
+	}
+}

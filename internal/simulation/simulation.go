@@ -1,0 +1,162 @@
+// Package simulation computes the maximum graph-simulation relation
+// M(Q,G) of a pattern in a data graph: the quadratic-time special case of
+// bounded simulation in which every pattern edge must be matched by a
+// single data edge. It implements the algorithm of Henzinger, Henzinger
+// and Kopke (FOCS 1995) adapted to pattern matching, plus a naive fixpoint
+// used as a test oracle.
+package simulation
+
+import (
+	"expfinder/internal/graph"
+	"expfinder/internal/match"
+	"expfinder/internal/pattern"
+)
+
+// Compute returns the unique maximum simulation relation M(Q,G) using the
+// HHK worklist algorithm. Every pattern edge is treated as requiring a
+// direct data edge, regardless of its declared bound; callers that want
+// bound semantics use internal/bsim.
+//
+// Complexity: O((|Vq|+|Eq|) * (|V|+|E|)).
+func Compute(g *graph.Graph, q *pattern.Pattern) *match.Relation {
+	nq := q.NumNodes()
+	maxID := g.MaxID()
+	r := match.NewRelation(nq)
+
+	// cand[u] is the current candidate set of pattern node u, as a dense
+	// boolean slice for O(1) membership during refinement.
+	cand := make([][]bool, nq)
+	counts := make([][]int32, len(q.Edges())) // counts[e][v] = |succ(v) ∩ cand[To(e)]|
+
+	for u := 0; u < nq; u++ {
+		cand[u] = make([]bool, maxID)
+		pred := q.Node(pattern.NodeIdx(u)).Pred
+		g.ForEachNode(func(n graph.Node) {
+			if pred.Eval(n) {
+				cand[u][n.ID] = true
+			}
+		})
+	}
+
+	// Initialize support counters: for each pattern edge e=(u,u') and each
+	// candidate v of u, count successors of v that are candidates of u'.
+	type removal struct {
+		u pattern.NodeIdx
+		v graph.NodeID
+	}
+	var worklist []removal
+	removeCand := func(u pattern.NodeIdx, v graph.NodeID) {
+		if cand[u][v] {
+			cand[u][v] = false
+			worklist = append(worklist, removal{u, v})
+		}
+	}
+
+	// Zero-support candidates are recorded during the pass and removed only
+	// after all counters exist; eager removal would desynchronize later
+	// edges' counters from the worklist's decrements.
+	edges := q.Edges()
+	var pending []removal
+	for ei, e := range edges {
+		counts[ei] = make([]int32, maxID)
+		for vi := 0; vi < maxID; vi++ {
+			v := graph.NodeID(vi)
+			if !cand[e.From][v] {
+				continue
+			}
+			var c int32
+			for _, w := range g.Out(v) {
+				if cand[e.To][w] {
+					c++
+				}
+			}
+			counts[ei][v] = c
+			if c == 0 {
+				pending = append(pending, removal{e.From, v})
+			}
+		}
+	}
+	for _, p := range pending {
+		removeCand(p.u, p.v)
+	}
+
+	// Propagate removals: when v' leaves cand[u'], every candidate
+	// predecessor v of v' under a pattern edge (u,u') loses one unit of
+	// support; at zero it is removed too.
+	for len(worklist) > 0 {
+		rm := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		for ei, e := range edges {
+			if e.To != rm.u {
+				continue
+			}
+			for _, p := range g.In(rm.v) {
+				if !cand[e.From][p] {
+					continue
+				}
+				counts[ei][p]--
+				if counts[ei][p] == 0 {
+					removeCand(e.From, p)
+				}
+			}
+		}
+	}
+
+	for u := 0; u < nq; u++ {
+		for vi := 0; vi < maxID; vi++ {
+			if cand[u][vi] {
+				r.Add(pattern.NodeIdx(u), graph.NodeID(vi))
+			}
+		}
+	}
+	return r.Normalize()
+}
+
+// ComputeNaive returns M(Q,G) by iterating the defining fixpoint until
+// stable. It is O(|Vq| * |V|^2 * d) and exists purely as an oracle for
+// property tests against Compute.
+func ComputeNaive(g *graph.Graph, q *pattern.Pattern) *match.Relation {
+	nq := q.NumNodes()
+	maxID := g.MaxID()
+	cand := make([][]bool, nq)
+	for u := 0; u < nq; u++ {
+		cand[u] = make([]bool, maxID)
+		pred := q.Node(pattern.NodeIdx(u)).Pred
+		g.ForEachNode(func(n graph.Node) {
+			if pred.Eval(n) {
+				cand[u][n.ID] = true
+			}
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range q.Edges() {
+			for vi := 0; vi < maxID; vi++ {
+				v := graph.NodeID(vi)
+				if !cand[e.From][v] {
+					continue
+				}
+				ok := false
+				for _, w := range g.Out(v) {
+					if cand[e.To][w] {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					cand[e.From][v] = false
+					changed = true
+				}
+			}
+		}
+	}
+	r := match.NewRelation(nq)
+	for u := 0; u < nq; u++ {
+		for vi := 0; vi < maxID; vi++ {
+			if cand[u][vi] {
+				r.Add(pattern.NodeIdx(u), graph.NodeID(vi))
+			}
+		}
+	}
+	return r.Normalize()
+}

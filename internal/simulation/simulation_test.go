@@ -1,0 +1,157 @@
+package simulation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"expfinder/internal/dataset"
+	"expfinder/internal/graph"
+	"expfinder/internal/pattern"
+	"expfinder/internal/testutil"
+)
+
+func mustPattern(t *testing.T, dsl string) *pattern.Pattern {
+	t.Helper()
+	q, err := pattern.Parse(dsl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestSimulationDirectEdgesOnly(t *testing.T) {
+	// a(A) -> b(B) -> c(C); pattern A->B->C matches; A->C does not.
+	g := graph.New(3)
+	a := g.AddNode("A", nil)
+	b := g.AddNode("B", nil)
+	c := g.AddNode("C", nil)
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(b, c); err != nil {
+		t.Fatal(err)
+	}
+	q1 := mustPattern(t, "node A [label=A] output\nnode B [label=B]\nnode C [label=C]\nedge A -> B\nedge B -> C\n")
+	if r := Compute(g, q1); r.IsEmpty() {
+		t.Error("chain pattern should match chain graph")
+	}
+	q2 := mustPattern(t, "node A [label=A] output\nnode C [label=C]\nedge A -> C\n")
+	if r := Compute(g, q2); !r.IsEmpty() {
+		t.Error("simulation must not match across two hops")
+	}
+}
+
+func TestSimulationNotBijective(t *testing.T) {
+	// One pattern node may match many data nodes, and two pattern nodes may
+	// share a data node — neither is allowed by isomorphism.
+	g := graph.New(3)
+	hub := g.AddNode("H", nil)
+	s1 := g.AddNode("S", nil)
+	s2 := g.AddNode("S", nil)
+	if err := g.AddEdge(hub, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(hub, s2); err != nil {
+		t.Fatal(err)
+	}
+	q := mustPattern(t, "node H [label=H] output\nnode S [label=S]\nedge H -> S\n")
+	r := Compute(g, q)
+	sIdx, _ := q.Lookup("S")
+	if r.CountOf(sIdx) != 2 {
+		t.Errorf("S matches = %v, want both spokes", r.MatchesOf(sIdx))
+	}
+}
+
+func TestSimulationOnPaperQueryIsStricter(t *testing.T) {
+	// Treating the Fig. 1 bounded query as plain simulation loses all SA
+	// matches: no SA has *direct* edges to both an SD and the BA.
+	g, _ := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	r := Compute(g, q)
+	if !r.IsEmpty() {
+		t.Errorf("plain simulation should find no full match on Fig.1, got %v", r)
+	}
+}
+
+func TestSimulationCyclicPattern(t *testing.T) {
+	// Pattern cycle A->B->A requires data nodes on a cycle.
+	g := graph.New(4)
+	a1 := g.AddNode("A", nil)
+	b1 := g.AddNode("B", nil)
+	a2 := g.AddNode("A", nil)
+	b2 := g.AddNode("B", nil)
+	// a1<->b1 is a cycle; a2->b2 is not.
+	for _, e := range [][2]graph.NodeID{{a1, b1}, {b1, a1}, {a2, b2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := mustPattern(t, "node A [label=A] output\nnode B [label=B]\nedge A -> B\nedge B -> A\n")
+	r := Compute(g, q)
+	qa, _ := q.Lookup("A")
+	qb, _ := q.Lookup("B")
+	if !r.Has(qa, a1) || !r.Has(qb, b1) {
+		t.Error("cycle nodes should match cyclic pattern")
+	}
+	if r.Has(qa, a2) || r.Has(qb, b2) {
+		t.Error("non-cycle nodes must not match cyclic pattern")
+	}
+}
+
+func TestSimulationPredicateFiltering(t *testing.T) {
+	g := graph.New(2)
+	v1 := g.AddNode("X", graph.Attrs{"experience": graph.Int(7)})
+	v2 := g.AddNode("X", graph.Attrs{"experience": graph.Int(3)})
+	_ = v2
+	q := mustPattern(t, "node X [label=X, experience >= 5] output\n")
+	r := Compute(g, q)
+	x, _ := q.Lookup("X")
+	if got := r.MatchesOf(x); len(got) != 1 || got[0] != v1 {
+		t.Errorf("matches = %v, want [%d]", got, v1)
+	}
+}
+
+// Property: worklist HHK agrees with the naive fixpoint oracle.
+func TestQuickHHKMatchesNaive(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(r, 25, 80)
+		q := testutil.RandomPattern(r, 1+r.Intn(4))
+		return Compute(g, q).Equal(ComputeNaive(g, q))
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: simulation matches are closed under the defining condition —
+// every pair's obligations are satisfied inside the relation.
+func TestQuickSimulationIsAFixpoint(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := testutil.RandomGraph(r, 20, 60)
+		q := testutil.RandomPattern(r, 1+r.Intn(3))
+		rel := Compute(g, q)
+		for _, pr := range rel.Pairs() {
+			for _, e := range q.OutEdges(pr.PNode) {
+				ok := false
+				for _, w := range g.Out(pr.Node) {
+					if rel.Has(e.To, w) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

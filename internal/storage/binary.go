@@ -1,0 +1,313 @@
+// Package storage persists graphs and query results as files, the demo's
+// storage layer ("all the graphs and query results are stored and managed
+// as files"). Graphs can be stored as JSON (interoperable) or in a compact
+// checksummed binary format; results are JSON with enough metadata to
+// detect staleness against the source graph.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"expfinder/internal/graph"
+)
+
+// Binary format:
+//
+//	magic "EXPF" | format version (uvarint) | node count (uvarint)
+//	per node: label | attr count | (key, kind, payload)*
+//	edge count (uvarint), then per edge: from, to (uvarints)
+//	crc32 (IEEE, little-endian uint32) of everything before it
+//
+// Strings are length-prefixed (uvarint + bytes). Node ids are implicit
+// (dense, in order); tombstones are compacted away like the JSON codec.
+const (
+	binaryMagic   = "EXPF"
+	binaryVersion = 1
+)
+
+// Binary decoding errors.
+var (
+	ErrBadMagic    = errors.New("storage: not an ExpFinder binary graph file")
+	ErrBadVersion  = errors.New("storage: unsupported binary format version")
+	ErrBadChecksum = errors.New("storage: checksum mismatch (corrupted file)")
+)
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
+	return cw.w.Write(p)
+}
+
+func writeUvarint(w io.Writer, x uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], x)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func writeValue(w io.Writer, v graph.Value) error {
+	if _, err := w.Write([]byte{byte(v.Kind())}); err != nil {
+		return err
+	}
+	switch v.Kind() {
+	case graph.KindString:
+		return writeString(w, v.Str())
+	case graph.KindInt:
+		return writeUvarint(w, zigzag(v.IntVal()))
+	case graph.KindFloat:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.FloatVal()))
+		_, err := w.Write(buf[:])
+		return err
+	case graph.KindBool:
+		b := byte(0)
+		if v.BoolVal() {
+			b = 1
+		}
+		_, err := w.Write([]byte{b})
+		return err
+	default:
+		return fmt.Errorf("storage: cannot encode value kind %v", v.Kind())
+	}
+}
+
+func zigzag(i int64) uint64   { return uint64((i << 1) ^ (i >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// WriteGraphBinary encodes g to w in the binary format.
+func WriteGraphBinary(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	if _, err := io.WriteString(cw, binaryMagic); err != nil {
+		return err
+	}
+	if err := writeUvarint(cw, binaryVersion); err != nil {
+		return err
+	}
+	if err := writeUvarint(cw, uint64(g.NumNodes())); err != nil {
+		return err
+	}
+	remap := make([]graph.NodeID, g.MaxID())
+	next := graph.NodeID(0)
+	var encErr error
+	g.ForEachNode(func(n graph.Node) {
+		if encErr != nil {
+			return
+		}
+		remap[n.ID] = next
+		next++
+		if encErr = writeString(cw, n.Label); encErr != nil {
+			return
+		}
+		if encErr = writeUvarint(cw, uint64(len(n.Attrs))); encErr != nil {
+			return
+		}
+		// Deterministic attribute order for byte-stable files.
+		for _, k := range sortedKeys(n.Attrs) {
+			if encErr = writeString(cw, k); encErr != nil {
+				return
+			}
+			if encErr = writeValue(cw, n.Attrs[k]); encErr != nil {
+				return
+			}
+		}
+	})
+	if encErr != nil {
+		return encErr
+	}
+	if err := writeUvarint(cw, uint64(g.NumEdges())); err != nil {
+		return err
+	}
+	g.ForEachEdge(func(e graph.Edge) {
+		if encErr != nil {
+			return
+		}
+		if encErr = writeUvarint(cw, uint64(remap[e.From])); encErr != nil {
+			return
+		}
+		encErr = writeUvarint(cw, uint64(remap[e.To]))
+	})
+	if encErr != nil {
+		return encErr
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], cw.crc)
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func sortedKeys(a graph.Attrs) []string {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+type crcReader struct {
+	r   *bufio.Reader
+	crc uint32
+}
+
+func (cr *crcReader) ReadByte() (byte, error) {
+	b, err := cr.r.ReadByte()
+	if err == nil {
+		cr.crc = crc32.Update(cr.crc, crc32.IEEETable, []byte{b})
+	}
+	return b, err
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func readString(cr *crcReader, limit uint64) (string, error) {
+	n, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return "", err
+	}
+	if n > limit {
+		return "", fmt.Errorf("storage: string length %d exceeds sanity limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(cr, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readValue(cr *crcReader) (graph.Value, error) {
+	kind, err := cr.ReadByte()
+	if err != nil {
+		return graph.Value{}, err
+	}
+	switch graph.ValueKind(kind) {
+	case graph.KindString:
+		s, err := readString(cr, 1<<24)
+		return graph.String(s), err
+	case graph.KindInt:
+		u, err := binary.ReadUvarint(cr)
+		return graph.Int(unzigzag(u)), err
+	case graph.KindFloat:
+		var buf [8]byte
+		if _, err := io.ReadFull(cr, buf[:]); err != nil {
+			return graph.Value{}, err
+		}
+		return graph.Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))), nil
+	case graph.KindBool:
+		b, err := cr.ReadByte()
+		return graph.Bool(b != 0), err
+	default:
+		return graph.Value{}, fmt.Errorf("storage: unknown value kind %d", kind)
+	}
+}
+
+// ReadGraphBinary decodes a graph from the binary format, verifying the
+// checksum.
+func ReadGraphBinary(r io.Reader) (*graph.Graph, error) {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("storage: read magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, ErrBadMagic
+	}
+	ver, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, err
+	}
+	if ver != binaryVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	}
+	nNodes, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, err
+	}
+	if nNodes > 1<<31 {
+		return nil, fmt.Errorf("storage: implausible node count %d", nNodes)
+	}
+	g := graph.New(int(nNodes))
+	for i := uint64(0); i < nNodes; i++ {
+		label, err := readString(cr, 1<<20)
+		if err != nil {
+			return nil, fmt.Errorf("storage: node %d label: %w", i, err)
+		}
+		nAttrs, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, err
+		}
+		if nAttrs > 1<<16 {
+			return nil, fmt.Errorf("storage: implausible attr count %d", nAttrs)
+		}
+		var attrs graph.Attrs
+		if nAttrs > 0 {
+			attrs = make(graph.Attrs, nAttrs)
+			for a := uint64(0); a < nAttrs; a++ {
+				key, err := readString(cr, 1<<20)
+				if err != nil {
+					return nil, err
+				}
+				val, err := readValue(cr)
+				if err != nil {
+					return nil, err
+				}
+				attrs[key] = val
+			}
+		}
+		g.AddNode(label, attrs)
+	}
+	nEdges, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nEdges; i++ {
+		from, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, err
+		}
+		to, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.AddEdge(graph.NodeID(from), graph.NodeID(to)); err != nil {
+			return nil, fmt.Errorf("storage: edge %d (%d->%d): %w", i, from, to, err)
+		}
+	}
+	wantCRC := cr.crc
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(cr.r, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("storage: read checksum: %w", err)
+	}
+	if binary.LittleEndian.Uint32(crcBuf[:]) != wantCRC {
+		return nil, ErrBadChecksum
+	}
+	return g, nil
+}

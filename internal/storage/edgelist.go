@@ -1,0 +1,185 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"expfinder/internal/graph"
+)
+
+// EdgeListOptions configures ReadEdgeList.
+type EdgeListOptions struct {
+	// DefaultLabel is assigned to nodes that get no label from a node
+	// table. Empty means "person".
+	DefaultLabel string
+	// Comma, when true, splits fields on commas instead of whitespace.
+	Comma bool
+	// SkipDuplicates drops repeated edges silently instead of failing
+	// (real edge lists often contain them).
+	SkipDuplicates bool
+	// SkipSelfLoops drops u->u lines silently (social data sometimes has
+	// them; ExpFinder graphs reserve self-loops for quotients).
+	SkipSelfLoops bool
+}
+
+// ReadEdgeList parses a SNAP-style edge list — one "src dst" pair per line,
+// `#` comments, blank lines ignored — into a graph. External node ids can
+// be arbitrary non-negative integers (they need not be dense); the mapping
+// from external id to graph.NodeID is returned. Each node carries an "id"
+// attribute holding its external id.
+func ReadEdgeList(r io.Reader, opts EdgeListOptions) (*graph.Graph, map[int64]graph.NodeID, error) {
+	label := opts.DefaultLabel
+	if label == "" {
+		label = "person"
+	}
+	g := graph.New(0)
+	idMap := map[int64]graph.NodeID{}
+	intern := func(ext int64) graph.NodeID {
+		if id, ok := idMap[ext]; ok {
+			return id
+		}
+		id := g.AddNode(label, graph.Attrs{"id": graph.Int(ext)})
+		idMap[ext] = id
+		return id
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		var fields []string
+		if opts.Comma {
+			fields = strings.Split(line, ",")
+			for i := range fields {
+				fields[i] = strings.TrimSpace(fields[i])
+			}
+		} else {
+			fields = strings.Fields(line)
+		}
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("storage: edge list line %d: need 2 fields, got %d", lineNo, len(fields))
+		}
+		src, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("storage: edge list line %d: bad source %q", lineNo, fields[0])
+		}
+		dst, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("storage: edge list line %d: bad target %q", lineNo, fields[1])
+		}
+		if src == dst && opts.SkipSelfLoops {
+			continue
+		}
+		u, v := intern(src), intern(dst)
+		if err := g.AddEdge(u, v); err != nil {
+			if err == graph.ErrDupEdge && opts.SkipDuplicates {
+				continue
+			}
+			return nil, nil, fmt.Errorf("storage: edge list line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("storage: edge list: %w", err)
+	}
+	return g, idMap, nil
+}
+
+// ApplyNodeTable reads a node attribute table — CSV with a header line
+// `id,label,attr1,attr2,...` — and applies labels and attributes to the
+// nodes of a graph previously imported with ReadEdgeList. Values are parsed
+// with graph.ParseValue (quoted strings, ints, floats, bools). Rows whose
+// id was never seen in the edge list create fresh isolated nodes.
+func ApplyNodeTable(r io.Reader, g *graph.Graph, idMap map[int64]graph.NodeID) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("storage: node table: %w", err)
+		}
+		return fmt.Errorf("storage: node table: empty input")
+	}
+	header := splitCSV(sc.Text())
+	if len(header) < 2 || header[0] != "id" || header[1] != "label" {
+		return fmt.Errorf("storage: node table: header must start with id,label; got %v", header)
+	}
+	attrNames := header[2:]
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := splitCSV(line)
+		if len(fields) != len(header) {
+			return fmt.Errorf("storage: node table line %d: %d fields, want %d", lineNo, len(fields), len(header))
+		}
+		ext, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("storage: node table line %d: bad id %q", lineNo, fields[0])
+		}
+		id, ok := idMap[ext]
+		if !ok {
+			id = g.AddNode(fields[1], graph.Attrs{"id": graph.Int(ext)})
+			idMap[ext] = id
+		}
+		// Relabel: AddNode-time labels are placeholders for imported nodes.
+		n, _ := g.Node(id)
+		attrs := n.Attrs.Clone()
+		if attrs == nil {
+			attrs = graph.Attrs{}
+		}
+		for i, name := range attrNames {
+			attrs[name] = graph.ParseValue(fields[2+i])
+		}
+		if err := relabel(g, id, fields[1], attrs); err != nil {
+			return fmt.Errorf("storage: node table line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("storage: node table: %w", err)
+	}
+	return nil
+}
+
+// splitCSV splits a simple CSV line honoring double quotes (no embedded
+// newlines; node tables are flat).
+func splitCSV(line string) []string {
+	var fields []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			if inQuote && i+1 < len(line) && line[i+1] == '"' {
+				cur.WriteByte('"')
+				i++
+				continue
+			}
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			fields = append(fields, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	fields = append(fields, strings.TrimSpace(cur.String()))
+	return fields
+}
+
+// relabel rewrites a node's label and attributes in place. The graph API
+// deliberately has no public label mutation (labels are load-time facts);
+// import is the one sanctioned path, implemented via attribute updates and
+// a rebuild-free swap.
+func relabel(g *graph.Graph, id graph.NodeID, label string, attrs graph.Attrs) error {
+	return g.ResetNode(id, label, attrs)
+}

@@ -1,0 +1,245 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"expfinder/internal/graph"
+	"expfinder/internal/match"
+	"expfinder/internal/pattern"
+)
+
+// Format selects how graphs are written to disk.
+type Format uint8
+
+// Supported on-disk graph formats.
+const (
+	FormatJSON Format = iota
+	FormatBinary
+)
+
+func (f Format) ext() string {
+	if f == FormatBinary {
+		return ".efb"
+	}
+	return ".json"
+}
+
+// Store errors.
+var (
+	ErrNotFound = errors.New("storage: not found")
+	ErrBadName  = errors.New("storage: invalid name")
+)
+
+// Store is a directory-backed repository of named graphs and cached query
+// results. Layout:
+//
+//	<root>/graphs/<name>.json|.efb
+//	<root>/results/<key>.json
+type Store struct {
+	root string
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{"graphs", "results"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("storage: init %s: %w", sub, err)
+		}
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's base directory.
+func (s *Store) Root() string { return s.root }
+
+// validName rejects path traversal and empty names.
+func validName(name string) error {
+	if name == "" || strings.ContainsAny(name, `/\`) || strings.Contains(name, "..") {
+		return fmt.Errorf("%w: %q", ErrBadName, name)
+	}
+	return nil
+}
+
+// SaveGraph writes a named graph in the given format, atomically (write to
+// a temp file, then rename).
+func (s *Store) SaveGraph(name string, g *graph.Graph, format Format) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	path := filepath.Join(s.root, "graphs", name+format.ext())
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	var werr error
+	if format == FormatBinary {
+		werr = WriteGraphBinary(tmp, g)
+	} else {
+		werr = g.WriteJSON(tmp)
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("storage: save graph %q: %w", name, werr)
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadGraph reads a named graph, trying the binary format first.
+func (s *Store) LoadGraph(name string) (*graph.Graph, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	for _, format := range []Format{FormatBinary, FormatJSON} {
+		path := filepath.Join(s.root, "graphs", name+format.ext())
+		f, err := os.Open(path)
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if format == FormatBinary {
+			return ReadGraphBinary(f)
+		}
+		return graph.ReadJSON(f)
+	}
+	return nil, fmt.Errorf("%w: graph %q", ErrNotFound, name)
+}
+
+// ListGraphs returns the names of stored graphs, sorted.
+func (s *Store) ListGraphs() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, "graphs"))
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		for _, ext := range []string{".json", ".efb"} {
+			if strings.HasSuffix(name, ext) {
+				base := strings.TrimSuffix(name, ext)
+				if !seen[base] {
+					seen[base] = true
+					names = append(names, base)
+				}
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// DeleteGraph removes a named graph in all formats.
+func (s *Store) DeleteGraph(name string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	found := false
+	for _, ext := range []string{".json", ".efb"} {
+		err := os.Remove(filepath.Join(s.root, "graphs", name+ext))
+		if err == nil {
+			found = true
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	if !found {
+		return fmt.Errorf("%w: graph %q", ErrNotFound, name)
+	}
+	return nil
+}
+
+// ResultRecord is the persisted form of a query result: the match pairs
+// plus enough metadata to detect staleness.
+type ResultRecord struct {
+	PatternHash  string     `json:"pattern_hash"`
+	GraphName    string     `json:"graph_name"`
+	GraphVersion uint64     `json:"graph_version"`
+	NumPNodes    int        `json:"num_pattern_nodes"`
+	Pairs        [][2]int64 `json:"pairs"`
+}
+
+// NewResultRecord captures a relation for persistence.
+func NewResultRecord(q *pattern.Pattern, graphName string, graphVersion uint64, r *match.Relation) *ResultRecord {
+	rec := &ResultRecord{
+		PatternHash:  q.Hash(),
+		GraphName:    graphName,
+		GraphVersion: graphVersion,
+		NumPNodes:    r.NumPatternNodes(),
+	}
+	for _, p := range r.Pairs() {
+		rec.Pairs = append(rec.Pairs, [2]int64{int64(p.PNode), int64(p.Node)})
+	}
+	return rec
+}
+
+// Relation reconstructs the match relation from the record.
+func (rec *ResultRecord) Relation() *match.Relation {
+	r := match.NewRelation(rec.NumPNodes)
+	for _, p := range rec.Pairs {
+		r.Add(pattern.NodeIdx(p[0]), graph.NodeID(p[1]))
+	}
+	return r
+}
+
+// resultKey builds the filename key for a (graph, pattern) combination.
+func resultKey(graphName, patternHash string) string {
+	return graphName + "-" + patternHash[:16]
+}
+
+// SaveResult persists a query result record.
+func (s *Store) SaveResult(rec *ResultRecord) error {
+	if err := validName(rec.GraphName); err != nil {
+		return err
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.root, "results", resultKey(rec.GraphName, rec.PatternHash)+".json")
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadResult retrieves a persisted result for the (graph, pattern) pair,
+// or ErrNotFound.
+func (s *Store) LoadResult(graphName, patternHash string) (*ResultRecord, error) {
+	if err := validName(graphName); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(s.root, "results", resultKey(graphName, patternHash)+".json")
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: result %s", ErrNotFound, resultKey(graphName, patternHash))
+	}
+	if err != nil {
+		return nil, err
+	}
+	var rec ResultRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("storage: decode result: %w", err)
+	}
+	return &rec, nil
+}

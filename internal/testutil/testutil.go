@@ -1,0 +1,118 @@
+// Package testutil provides deterministic random graphs and patterns shared
+// by the property-based tests of the matching, incremental and compression
+// packages.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+
+	"expfinder/internal/graph"
+	"expfinder/internal/pattern"
+)
+
+// Labels used by random graphs and patterns; deliberately few so that
+// predicate candidate sets are dense and matches actually occur.
+var Labels = []string{"SA", "SD", "BA", "ST"}
+
+// RandomGraph builds a random simple digraph with n labeled nodes, about m
+// edges, and an integer "experience" attribute in [0, 10).
+func RandomGraph(r *rand.Rand, n, m int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode(Labels[r.Intn(len(Labels))], graph.Attrs{
+			"experience": graph.Int(int64(r.Intn(10))),
+		})
+	}
+	for i := 0; i < m; i++ {
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		if u != v {
+			_ = g.AddEdge(u, v) // duplicate edges rejected; acceptable
+		}
+	}
+	return g
+}
+
+// RandomPattern builds a random connected pattern with nq nodes, random
+// label predicates, random experience thresholds, and bounds drawn from
+// {1, 1, 2, 3} (bound 1 overweighted so plain-simulation paths get
+// exercised). Node 0 is the output node.
+func RandomPattern(r *rand.Rand, nq int) *pattern.Pattern {
+	q := pattern.New()
+	for i := 0; i < nq; i++ {
+		pred := pattern.Predicate{}.
+			And(pattern.LabelAttr, pattern.OpEq, graph.String(Labels[r.Intn(len(Labels))]))
+		if r.Intn(2) == 0 {
+			pred = pred.And("experience", pattern.OpGe, graph.Int(int64(r.Intn(5))))
+		}
+		q.MustAddNode(fmt.Sprintf("n%d", i), pred)
+	}
+	bounds := []int{1, 1, 2, 3}
+	// A random spanning tree keeps the pattern connected, then extra edges.
+	for i := 1; i < nq; i++ {
+		from := pattern.NodeIdx(r.Intn(i))
+		q.MustAddEdge(from, pattern.NodeIdx(i), bounds[r.Intn(len(bounds))])
+	}
+	extra := r.Intn(nq)
+	for i := 0; i < extra; i++ {
+		from := pattern.NodeIdx(r.Intn(nq))
+		to := pattern.NodeIdx(r.Intn(nq))
+		_ = q.AddEdge(from, to, bounds[r.Intn(len(bounds))]) // dups rejected
+	}
+	if err := q.SetOutput(0); err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// RandomSimPattern is RandomPattern with every bound forced to 1, for
+// comparing plain simulation against bounded simulation.
+func RandomSimPattern(r *rand.Rand, nq int) *pattern.Pattern {
+	q := RandomPattern(r, nq)
+	flat := pattern.New()
+	for i := 0; i < q.NumNodes(); i++ {
+		n := q.Node(pattern.NodeIdx(i))
+		flat.MustAddNode(n.Name, n.Pred)
+	}
+	for _, e := range q.Edges() {
+		flat.MustAddEdge(e.From, e.To, 1)
+	}
+	if err := flat.SetOutput(q.Output()); err != nil {
+		panic(err)
+	}
+	return flat
+}
+
+// MutateGraph applies nOps random edge insertions/deletions to g and
+// returns the applied operations as (insert, from, to) triples.
+type EdgeOp struct {
+	Insert   bool
+	From, To graph.NodeID
+}
+
+// RandomOps generates nOps random applicable edge operations against a
+// evolving copy of g, applying them to g as it goes.
+func RandomOps(r *rand.Rand, g *graph.Graph, nOps int) []EdgeOp {
+	var ops []EdgeOp
+	nodes := g.Nodes()
+	for len(ops) < nOps {
+		u := nodes[r.Intn(len(nodes))]
+		v := nodes[r.Intn(len(nodes))]
+		if u == v {
+			continue
+		}
+		if g.HasEdge(u, v) {
+			if err := g.RemoveEdge(u, v); err != nil {
+				continue
+			}
+			ops = append(ops, EdgeOp{Insert: false, From: u, To: v})
+		} else {
+			if err := g.AddEdge(u, v); err != nil {
+				continue
+			}
+			ops = append(ops, EdgeOp{Insert: true, From: u, To: v})
+		}
+	}
+	return ops
+}

@@ -1,0 +1,104 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"expfinder/internal/bsim"
+	"expfinder/internal/dataset"
+	"expfinder/internal/graph"
+	"expfinder/internal/match"
+	"expfinder/internal/rank"
+)
+
+func TestWriteGraphRollUp(t *testing.T) {
+	g, _ := dataset.PaperGraph()
+	var b strings.Builder
+	if err := WriteGraph(&b, g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "digraph G {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("malformed DOT envelope")
+	}
+	if !strings.Contains(out, "Bob") || !strings.Contains(out, "SA") {
+		t.Error("captions missing")
+	}
+	// Roll-up must not leak attributes.
+	if strings.Contains(out, "experience") {
+		t.Error("roll-up view leaked attributes")
+	}
+}
+
+func TestWriteGraphDrillDown(t *testing.T) {
+	g, _ := dataset.PaperGraph()
+	var b strings.Builder
+	if err := WriteGraph(&b, g, Options{DrillDown: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "experience: 7") {
+		t.Error("drill-down view missing attributes")
+	}
+}
+
+func TestWriteGraphTruncation(t *testing.T) {
+	g := graph.New(10)
+	for i := 0; i < 10; i++ {
+		g.AddNode("X", nil)
+	}
+	var b strings.Builder
+	if err := WriteGraph(&b, g, Options{MaxNodes: 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "label=") != 4 { // 3 nodes + truncation note
+		t.Errorf("truncated output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "7 more nodes") {
+		t.Error("truncation note missing")
+	}
+}
+
+func TestWriteResultGraphWeightsAndHighlight(t *testing.T) {
+	g, p := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	r := bsim.Compute(g, q)
+	rg := match.BuildResultGraph(g, q, r)
+	top := rank.TopKWithResultGraph(rg, q, r, 1)
+
+	var b strings.Builder
+	if err := WriteTopK(&b, g, rg, top, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "digraph Result") {
+		t.Error("missing result envelope")
+	}
+	// Bob is the top-1 and must be red.
+	bobLine := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "Bob") {
+			bobLine = line
+		}
+	}
+	if !strings.Contains(bobLine, "color=red") {
+		t.Errorf("top-1 not highlighted: %q", bobLine)
+	}
+	// Weighted edge labels appear (e.g. Bob->Jean weight 3).
+	if !strings.Contains(out, `label="3"`) {
+		t.Error("weighted edge labels missing")
+	}
+	_ = p
+}
+
+func TestEscaping(t *testing.T) {
+	g := graph.New(1)
+	g.AddNode(`L"abel`, graph.Attrs{"name": graph.String(`has "quotes" and \slashes\`)})
+	var b strings.Builder
+	if err := WriteGraph(&b, g, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), `"has "`) {
+		t.Error("quotes not escaped")
+	}
+}
