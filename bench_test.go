@@ -5,6 +5,7 @@ package expfinder_test
 // sweep tables recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -13,6 +14,7 @@ import (
 	"expfinder/internal/bsim"
 	"expfinder/internal/compress"
 	"expfinder/internal/dataset"
+	"expfinder/internal/engine"
 	"expfinder/internal/generator"
 	"expfinder/internal/graph"
 	"expfinder/internal/incremental"
@@ -343,6 +345,42 @@ func BenchmarkAblationSemantics(b *testing.B) {
 			sinkRelation = strongsim.Dual(g, q)
 		}
 	})
+}
+
+// BenchmarkBatchExecutor measures the parallel batch query executor
+// against serial dispatch on the generator's 100k-edge collaboration
+// graph (39000 nodes, ~101k edges) — the ISSUE 1 speedup baseline.
+// Every iteration answers the same 8 distinct queries through a fresh
+// engine, keeping the result cache out of the measurement; only the
+// Parallelism knob varies between sub-benchmarks.
+func BenchmarkBatchExecutor(b *testing.B) {
+	g := benchGraph(b, generator.KindCollab, 39000)
+	queries := dataset.BenchQueries(8)
+	reqs := make([]engine.QueryRequest, len(queries))
+	for i, q := range queries {
+		reqs[i] = engine.QueryRequest{Graph: "g", Pattern: q, K: 5}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 1 {
+			name = "serial"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng := engine.New(engine.Options{Parallelism: workers})
+				if err := eng.AddGraph("g", g); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, oc := range eng.QueryBatch(context.Background(), reqs) {
+					if oc.Err != nil {
+						b.Fatal(oc.Err)
+					}
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFacadeMatch exercises the public API entry point.

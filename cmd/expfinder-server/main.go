@@ -26,11 +26,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"expfinder"
@@ -44,9 +48,10 @@ func main() {
 	storeDir := flag.String("store", "", "preload graphs from this store directory")
 	demo := flag.Bool("demo", true, "preload the paper's Fig. 1 dataset as graph \"paper\"")
 	cacheSize := flag.Int("cache", 256, "result cache capacity")
+	parallelism := flag.Int("parallelism", 0, "max concurrent query executions (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	eng := engine.New(engine.Options{CacheSize: *cacheSize})
+	eng := engine.New(engine.Options{CacheSize: *cacheSize, Parallelism: *parallelism})
 
 	if *demo {
 		g, _ := dataset.PaperGraph()
@@ -83,10 +88,32 @@ func main() {
 		Handler:           logging(server.New(eng)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("expfinder-server listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests (each
+	// request carries a context the engine's executor respects) before
+	// exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("expfinder-server listening on %s (parallelism %d)", *addr, eng.Parallelism())
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down: draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("forced shutdown: %v", err)
+			_ = srv.Close()
+		}
 	}
 }
 

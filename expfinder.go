@@ -233,7 +233,10 @@ type (
 	// Engine manages graphs and runs the full query pipeline: cache,
 	// incremental maintenance, compression routing, plan selection.
 	Engine = engine.Engine
-	// EngineOptions configures an Engine.
+	// EngineOptions configures an Engine. Parallelism bounds concurrent
+	// query executions (QueryBatch/QueryAsync and overlapping Query
+	// calls) and the bounded-simulation worker fan-out; 0 means
+	// GOMAXPROCS.
 	EngineOptions = engine.Options
 	// QueryResult is a query answer with provenance.
 	QueryResult = engine.Result
@@ -241,6 +244,11 @@ type (
 	UpdateDelta = engine.Delta
 	// Update is an edge insertion or deletion.
 	Update = incremental.Update
+	// BatchQuery names one query of an Engine.QueryBatch call.
+	BatchQuery = engine.QueryRequest
+	// BatchOutcome is the per-query answer of Engine.QueryBatch and
+	// Engine.QueryAsync: exactly one of Result and Err is set.
+	BatchOutcome = engine.QueryOutcome
 )
 
 // NewEngine returns an engine.

@@ -1,0 +1,3 @@
+module expfinder
+
+go 1.24

@@ -27,11 +27,17 @@ func Compute(g *graph.Graph, q *pattern.Pattern) *match.Relation {
 	return s.relation()
 }
 
-// ComputeParallel is Compute with the support-counter initialization — the
-// dominant cost, one bounded BFS per (pattern edge, candidate) — fanned out
-// over the given number of workers. The removal propagation stays serial
-// (it is a tiny fraction of the work and inherently sequential). workers
-// <= 1 falls back to the serial path. Results are identical to Compute.
+// ComputeParallel is Compute with the two heavy refinement phases —
+// predicate evaluation over every (pattern node, data node) pair, and the
+// support-counter initialization (one bounded BFS per (pattern edge,
+// candidate)) — fanned out over the given number of workers by
+// partitioning the data-node range into contiguous chunks. The removal
+// propagation stays serial (it is a tiny fraction of the work and
+// inherently sequential). workers <= 1 falls back to the serial path.
+//
+// The result is deterministic: bounded simulation has a unique maximum
+// relation and the refinement is confluent, so the relation is identical
+// to Compute's for every worker count.
 func ComputeParallel(g *graph.Graph, q *pattern.Pattern, workers int) *match.Relation {
 	s := newState(g, q, workers)
 	return s.relation()
@@ -61,15 +67,7 @@ func newState(g *graph.Graph, q *pattern.Pattern, workers int) *state {
 		cand:  make([][]bool, nq),
 		count: make([][]int32, len(q.Edges())),
 	}
-	for u := 0; u < nq; u++ {
-		s.cand[u] = make([]bool, s.maxID)
-		pred := q.Node(pattern.NodeIdx(u)).Pred
-		g.ForEachNode(func(n graph.Node) {
-			if pred.Eval(n) {
-				s.cand[u][n.ID] = true
-			}
-		})
-	}
+	s.initCands(workers)
 
 	var worklist []removal
 	remove := func(u pattern.NodeIdx, v graph.NodeID) {
@@ -115,6 +113,63 @@ func newState(g *graph.Graph, q *pattern.Pattern, workers int) *state {
 	return s
 }
 
+// parallelFloor is the node-range size below which fanning out is pure
+// overhead and the chunk helpers run serially.
+const parallelFloor = 256
+
+// chunked splits [0, n) into contiguous per-worker ranges and runs fn on
+// each concurrently. fn must only write to cells owned by its range.
+func chunked(n, workers int, fn func(w, lo, hi int)) {
+	if workers <= 1 || n < parallelFloor {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// initCands fills the initial candidate sets by evaluating every pattern
+// node's predicate against every data node, partitioned across workers by
+// node range. Cells are per-(pattern node, data node), so chunks never
+// write the same cell.
+func (s *state) initCands(workers int) {
+	nq := s.q.NumNodes()
+	preds := make([]pattern.Predicate, nq)
+	for u := 0; u < nq; u++ {
+		s.cand[u] = make([]bool, s.maxID)
+		preds[u] = s.q.Node(pattern.NodeIdx(u)).Pred
+	}
+	chunked(s.maxID, workers, func(_, lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			n, ok := s.g.Node(graph.NodeID(vi))
+			if !ok {
+				continue
+			}
+			for u := 0; u < nq; u++ {
+				if preds[u].Eval(n) {
+					s.cand[u][vi] = true
+				}
+			}
+		}
+	})
+}
+
 // initCounts fills the support counters, returning the zero-support
 // candidates. With workers > 1 the node range is split into contiguous
 // chunks processed concurrently; counter cells are per-(edge, node), so
@@ -144,28 +199,13 @@ func (s *state) initCounts(workers int) []removal {
 		}
 		return pending
 	}
-	if workers <= 1 || s.maxID < 256 {
+	if workers <= 1 || s.maxID < parallelFloor {
 		return countChunk(0, s.maxID)
 	}
-	chunk := (s.maxID + workers - 1) / workers
 	results := make([][]removal, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > s.maxID {
-			hi = s.maxID
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			results[w] = countChunk(lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
+	chunked(s.maxID, workers, func(w, lo, hi int) {
+		results[w] = countChunk(lo, hi)
+	})
 	var pending []removal
 	for _, r := range results {
 		pending = append(pending, r...)

@@ -280,6 +280,24 @@ func TestQuickParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestParallelDeterministicAcrossWorkerLadder forces the chunked parallel
+// paths (graph larger than parallelFloor) and checks the relation is
+// bit-identical to serial for every worker count, including worker counts
+// exceeding GOMAXPROCS and the node count divided unevenly.
+func TestParallelDeterministicAcrossWorkerLadder(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	g := testutil.RandomGraph(r, 700, 2800)
+	for trial := 0; trial < 3; trial++ {
+		q := testutil.RandomPattern(rand.New(rand.NewSource(int64(40+trial))), 2+trial)
+		want := Compute(g, q)
+		for _, w := range []int{1, 2, 3, 4, 8, 16, 64} {
+			if !ComputeParallel(g, q, w).Equal(want) {
+				t.Errorf("trial %d workers=%d diverged from serial", trial, w)
+			}
+		}
+	}
+}
+
 func TestParallelOnPaperGraph(t *testing.T) {
 	g, _ := dataset.PaperGraph()
 	q := dataset.PaperQuery()

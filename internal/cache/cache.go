@@ -12,9 +12,13 @@ import (
 	"expfinder/internal/match"
 )
 
-// Key identifies a cached result.
+// Key identifies a cached result. Epoch distinguishes graph *instances*
+// registered under the same name: without it, a graph removed and
+// re-added under its old name could collide with stale entries (versions
+// are per-graph mutation counters, so they restart and can repeat).
 type Key struct {
 	GraphName    string
+	Epoch        uint64
 	GraphVersion uint64
 	PatternHash  string
 }

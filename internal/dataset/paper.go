@@ -10,6 +10,8 @@
 package dataset
 
 import (
+	"fmt"
+
 	"expfinder/internal/graph"
 	"expfinder/internal/pattern"
 )
@@ -66,6 +68,31 @@ func PaperGraph() (*graph.Graph, People) {
 // E1 returns the update edge of Example 3: its insertion makes Fred reach
 // Eva within 2 hops, adding exactly (SD, Fred) to M(Q,G).
 func E1(p People) graph.Edge { return graph.Edge{From: p.Fred, To: p.Pat} }
+
+// BenchQueries returns n distinct Fig. 1-shaped queries — experience
+// thresholds and first-edge bounds vary so no two share a result-cache
+// key. The batch-executor benchmarks (bench_test.go, benchrunner -exp
+// a2) share this workload so their baselines stay comparable.
+func BenchQueries(n int) []*pattern.Pattern {
+	qs := make([]*pattern.Pattern, n)
+	for i := range qs {
+		q, err := pattern.Parse(fmt.Sprintf(`
+node SA [label = "SA", experience >= %d] output
+node SD [label = "SD", experience >= 2]
+node BA [label = "BA", experience >= 3]
+node ST [label = "ST", experience >= 2]
+edge SA -> SD bound %d
+edge SA -> BA bound 3
+edge SD -> ST bound 2
+edge ST -> SD bound 1
+`, 1+i%6, 1+i/6))
+		if err != nil {
+			panic(err) // static template; cannot fail
+		}
+		qs[i] = q
+	}
+	return qs
+}
 
 // PaperQueryDSL is the Fig. 1 pattern query in DSL syntax.
 const PaperQueryDSL = `

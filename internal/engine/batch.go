@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"expfinder/internal/pattern"
+)
+
+// QueryRequest names one query of a batch: the target graph, the pattern,
+// and the top-K cutoff (k <= 0 ranks all matches of the output node).
+type QueryRequest struct {
+	Graph   string
+	Pattern *pattern.Pattern
+	K       int
+}
+
+// QueryOutcome is the answer to one QueryRequest: exactly one of Result
+// and Err is set.
+type QueryOutcome struct {
+	Result *Result
+	Err    error
+}
+
+// QueryCtx is Query with cancellation: it waits for an execution slot
+// (the engine runs at most Parallelism queries at once) and gives up if
+// ctx is cancelled while waiting for one. Cancellation is checked at
+// the dispatch boundary only: a wait for the graph's read lock (behind
+// an in-progress update) is not cancellable, and a query that already
+// started is not torn down mid-evaluation.
+//
+// The slot is taken *after* the graph's read lock: a goroutine holding a
+// token is always computing, never parked behind a writer, so one
+// graph's long update can never drain the pool and stall queries to
+// other graphs. The trade-off is that a query queued for a slot holds
+// its target graph's read lock while it waits, delaying writers to that
+// graph (only) until the pool frees up.
+func (e *Engine) QueryCtx(ctx context.Context, graphName string, q *pattern.Pattern, k int) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return nil, err
+	}
+	mg.mu.RLock()
+	defer mg.mu.RUnlock()
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	e.inflight.Add(1)
+	defer e.inflight.Add(-1)
+	return e.queryLocked(graphName, mg, q, k, start), nil
+}
+
+// QueryBatch evaluates a batch of queries concurrently on a worker pool
+// bounded by the engine's Parallelism, returning one outcome per request
+// in request order. Each query is answered exactly as Query would answer
+// it — the executor only changes scheduling, never results. Requests not
+// yet started when ctx is cancelled fail with ctx.Err(); in-flight
+// queries run to completion.
+func (e *Engine) QueryBatch(ctx context.Context, reqs []QueryRequest) []QueryOutcome {
+	out := make([]QueryOutcome, len(reqs))
+	workers := e.par
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := e.QueryCtx(ctx, reqs[i].Graph, reqs[i].Pattern, reqs[i].K)
+				out[i] = QueryOutcome{Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// QueryAsync dispatches one query through the bounded executor and
+// returns a channel that delivers its outcome (buffered: the result is
+// never lost if the caller reads late).
+func (e *Engine) QueryAsync(ctx context.Context, req QueryRequest) <-chan QueryOutcome {
+	ch := make(chan QueryOutcome, 1)
+	go func() {
+		res, err := e.QueryCtx(ctx, req.Graph, req.Pattern, req.K)
+		ch <- QueryOutcome{Result: res, Err: err}
+		close(ch)
+	}()
+	return ch
+}

@@ -1,0 +1,264 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"expfinder/internal/dataset"
+	"expfinder/internal/generator"
+	"expfinder/internal/graph"
+	"expfinder/internal/incremental"
+	"expfinder/internal/pattern"
+	"expfinder/internal/rank"
+	"expfinder/internal/testutil"
+)
+
+// batchWorkload is a shared graph plus a set of distinct queries against
+// it (varying experience thresholds so no two share a cache key).
+func batchWorkload(t *testing.T, nQueries int) (*graph.Graph, []*pattern.Pattern) {
+	t.Helper()
+	g, err := generator.Generate(generator.KindCollab, generator.Config{Nodes: 400, AvgDegree: 6, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]*pattern.Pattern, nQueries)
+	for i := range qs {
+		q, err := pattern.Parse(fmt.Sprintf(`
+node SA [label = "SA", experience >= %d] output
+node SD [label = "SD"]
+edge SA -> SD bound 2
+edge SD -> SA bound 2
+`, 1+i%6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i] = q
+	}
+	return g, qs
+}
+
+func TestQueryBatchMatchesSerial(t *testing.T) {
+	g, qs := batchWorkload(t, 12)
+	serial := New(Options{Parallelism: 1})
+	parallel := New(Options{Parallelism: 4})
+	for _, e := range []*Engine{serial, parallel} {
+		if err := e.AddGraph("g", g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reqs := make([]QueryRequest, len(qs))
+	for i, q := range qs {
+		reqs[i] = QueryRequest{Graph: "g", Pattern: q, K: 5}
+	}
+	want := make([]*Result, len(qs))
+	for i, q := range qs {
+		res, err := serial.Query("g", q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	got := parallel.QueryBatch(context.Background(), reqs)
+	if len(got) != len(reqs) {
+		t.Fatalf("outcomes = %d, want %d", len(got), len(reqs))
+	}
+	for i, oc := range got {
+		if oc.Err != nil {
+			t.Fatalf("request %d: %v", i, oc.Err)
+		}
+		if !oc.Result.Relation.Equal(want[i].Relation) {
+			t.Errorf("request %d: batch relation diverged from serial", i)
+		}
+		if !sameRanking(oc.Result.TopK, want[i].TopK) {
+			t.Errorf("request %d: batch top-K diverged from serial", i)
+		}
+	}
+}
+
+func sameRanking(a, b []rank.Ranked) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Node != b[i].Node || a[i].Rank != b[i].Rank {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExecutorDeterminism pins the ISSUE acceptance check: identical match
+// relations and top-K ranking for Parallelism 1, 4, and GOMAXPROCS.
+func TestExecutorDeterminism(t *testing.T) {
+	g, qs := batchWorkload(t, 8)
+	levels := []int{1, 4, runtime.GOMAXPROCS(0)}
+	var baseline []QueryOutcome
+	for _, par := range levels {
+		e := New(Options{Parallelism: par})
+		if err := e.AddGraph("g", g); err != nil {
+			t.Fatal(err)
+		}
+		reqs := make([]QueryRequest, len(qs))
+		for i, q := range qs {
+			reqs[i] = QueryRequest{Graph: "g", Pattern: q, K: 10}
+		}
+		out := e.QueryBatch(context.Background(), reqs)
+		for i, oc := range out {
+			if oc.Err != nil {
+				t.Fatalf("parallelism %d request %d: %v", par, i, oc.Err)
+			}
+		}
+		if baseline == nil {
+			baseline = out
+			continue
+		}
+		for i := range out {
+			if !out[i].Result.Relation.Equal(baseline[i].Result.Relation) {
+				t.Errorf("parallelism %d request %d: relation differs from parallelism %d", par, i, levels[0])
+			}
+			if !sameRanking(out[i].Result.TopK, baseline[i].Result.TopK) {
+				t.Errorf("parallelism %d request %d: top-K differs from parallelism %d", par, i, levels[0])
+			}
+		}
+	}
+}
+
+func TestQueryBatchIsolatesFailures(t *testing.T) {
+	e, _ := newPaperEngine(t)
+	q := dataset.PaperQuery()
+	bad := pattern.New() // fails Validate: no nodes
+	out := e.QueryBatch(context.Background(), []QueryRequest{
+		{Graph: "paper", Pattern: q, K: 1},
+		{Graph: "missing", Pattern: q, K: 1},
+		{Graph: "paper", Pattern: bad, K: 1},
+		{Graph: "paper", Pattern: q, K: 1},
+	})
+	if out[0].Err != nil || out[3].Err != nil {
+		t.Fatalf("good requests failed: %v, %v", out[0].Err, out[3].Err)
+	}
+	if !errors.Is(out[1].Err, ErrNoGraph) {
+		t.Errorf("missing graph error = %v, want ErrNoGraph", out[1].Err)
+	}
+	if out[2].Err == nil {
+		t.Error("invalid pattern did not fail")
+	}
+	if out[0].Result.Relation.Size() != 7 || out[3].Result.Relation.Size() != 7 {
+		t.Error("good outcomes wrong")
+	}
+}
+
+func TestQueryBatchCancelled(t *testing.T) {
+	e, _ := newPaperEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := e.QueryBatch(ctx, []QueryRequest{
+		{Graph: "paper", Pattern: dataset.PaperQuery(), K: 1},
+		{Graph: "paper", Pattern: dataset.PaperQuery(), K: 1},
+	})
+	for i, oc := range out {
+		if !errors.Is(oc.Err, context.Canceled) {
+			t.Errorf("request %d: err = %v, want context.Canceled", i, oc.Err)
+		}
+	}
+}
+
+func TestQueryAsync(t *testing.T) {
+	e, p := newPaperEngine(t)
+	oc := <-e.QueryAsync(context.Background(), QueryRequest{Graph: "paper", Pattern: dataset.PaperQuery(), K: 1})
+	if oc.Err != nil {
+		t.Fatal(oc.Err)
+	}
+	if len(oc.Result.TopK) != 1 || oc.Result.TopK[0].Node != p.Bob {
+		t.Errorf("top-1 = %v, want Bob", oc.Result.TopK)
+	}
+}
+
+// TestPerGraphLockSharding drives queries and updates on independent
+// graphs from many goroutines at once: with per-graph locks none of it
+// may deadlock, race (the -race CI job), or corrupt either graph.
+func TestPerGraphLockSharding(t *testing.T) {
+	e := New(Options{Parallelism: 8})
+	r := rand.New(rand.NewSource(21))
+	for _, name := range []string{"a", "b"} {
+		if err := e.AddGraph(name, testutil.RandomGraph(r, 80, 240)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := testutil.RandomPattern(rand.New(rand.NewSource(22)), 3)
+	ga, _ := e.Graph("a")
+	opsMirror := ga.Clone()
+	ops := testutil.RandomOps(rand.New(rand.NewSource(23)), opsMirror, 40)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	wg.Add(1)
+	go func() { // mutate graph a...
+		defer wg.Done()
+		for _, op := range ops {
+			if _, err := e.ApplyUpdates("a", []incremental.Update{{Insert: op.Insert, From: op.From, To: op.To}}); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ { // ...while querying graph b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				if _, err := e.Query("b", q, 3); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestReAddedGraphDoesNotServeStaleCache pins the epoch-keyed cache: a
+// graph removed and re-registered under its old name (with a colliding
+// per-graph version counter) must never be answered from the previous
+// instance's cache entries — even when an in-flight query re-inserts one
+// after RemoveGraph's purge.
+func TestReAddedGraphDoesNotServeStaleCache(t *testing.T) {
+	e := New(Options{})
+	g1, _ := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	if err := e.AddGraph("g", g1); err != nil {
+		t.Fatal(err)
+	}
+	res1, err := e.Query("g", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Relation.Size() != 7 {
+		t.Fatalf("relation size = %d, want 7", res1.Relation.Size())
+	}
+	if err := e.RemoveGraph("g"); err != nil {
+		t.Fatal(err)
+	}
+	// Same name, same version (both graphs are unmutated), no matches.
+	if err := e.AddGraph("g", graph.New(0)); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := e.Query("g", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Source == SourceCache {
+		t.Error("re-added graph served from the old instance's cache")
+	}
+	if res2.Relation.Size() != 0 {
+		t.Errorf("relation size = %d on empty graph, want 0", res2.Relation.Size())
+	}
+}

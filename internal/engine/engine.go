@@ -19,10 +19,13 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"expfinder/internal/bsim"
@@ -72,15 +75,35 @@ type Options struct {
 	CacheSize int
 	// Store, when set, persists saved graphs and results.
 	Store *storage.Store
+	// Parallelism bounds how many queries the engine executes
+	// concurrently (QueryBatch, QueryAsync, and overlapping Query calls)
+	// and how many workers the bounded-simulation inner loop may fan out
+	// to. <= 0 means GOMAXPROCS. Results never depend on it.
+	Parallelism int
 }
 
-// Engine manages graphs and evaluates queries. Safe for concurrent use:
-// queries take a read lock, updates a write lock.
+// Engine manages graphs and evaluates queries. Safe for concurrent use.
+// Locking is sharded per graph: the engine lock guards only the name ->
+// graph registry, and each managed graph carries its own RWMutex, so
+// lock contention never crosses graph boundaries — an update on one
+// graph never blocks queries on another at the lock level. The one
+// cross-graph coupling is the shared execution pool: at most Parallelism
+// queries compute at once, so under a saturated pool a query queues for
+// a slot regardless of which graph it targets (tokens are only ever held
+// while computing, so the pool always drains at compute speed).
 type Engine struct {
-	mu    sync.RWMutex
+	mu    sync.RWMutex // guards gs, the registry map, only
 	opts  Options
+	par   int
 	cache *cache.Cache
 	gs    map[string]*managed
+
+	// sem holds one token per allowed concurrent query execution;
+	// inflight counts executions holding a token so evaluate can split
+	// the worker budget between inter- and intra-query parallelism.
+	sem      chan struct{}
+	inflight atomic.Int32
+	epochs   atomic.Uint64 // graph-registration counter, see managed.epoch
 
 	// rgCache memoizes result graphs alongside the relation cache: a cache
 	// hit would otherwise pay the full result-graph reconstruction (one
@@ -92,11 +115,41 @@ type Engine struct {
 	rankCache map[cache.Key][]rank.Ranked // full ranking, best-first
 }
 
+// managed is one registered graph with everything attached to it. Its
+// mutex guards the graph, the compressed form, and the matcher registry;
+// queries hold it for read, mutations for write. epoch is the engine-wide
+// registration counter distinguishing this instance from any other graph
+// ever registered under the same name.
 type managed struct {
+	mu       sync.RWMutex
+	epoch    uint64
 	g        *graph.Graph
 	comp     *compress.Compressed            // optional
 	matchers map[string]*incremental.Matcher // pattern hash -> matcher
 	queries  map[string]*pattern.Pattern     // pattern hash -> registered pattern
+
+	// fp memoizes the graph's content fingerprint per version: computing
+	// it is a full O(V+E) serialization, far too heavy to repeat on every
+	// store-path check. Guarded by fpMu because queries computing it hold
+	// mu only for read.
+	fpMu      sync.Mutex
+	fp        uint64
+	fpVersion uint64
+	fpValid   bool
+}
+
+// fingerprint returns the graph's memoized content fingerprint. The
+// caller holds mg.mu (read or write), so the graph cannot change
+// underneath the computation.
+func (mg *managed) fingerprint() uint64 {
+	v := mg.g.Version()
+	mg.fpMu.Lock()
+	defer mg.fpMu.Unlock()
+	if !mg.fpValid || mg.fpVersion != v {
+		mg.fp = storage.GraphFingerprint(mg.g)
+		mg.fpVersion, mg.fpValid = v, true
+	}
+	return mg.fp
 }
 
 // New returns an engine with the given options.
@@ -105,13 +158,36 @@ func New(opts Options) *Engine {
 	if size <= 0 {
 		size = 128
 	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	return &Engine{
 		opts:      opts,
+		par:       par,
 		cache:     cache.New(size),
 		gs:        map[string]*managed{},
+		sem:       make(chan struct{}, par),
 		rgCache:   map[cache.Key]*match.ResultGraph{},
 		rankCache: map[cache.Key][]rank.Ranked{},
 	}
+}
+
+// Parallelism reports the engine's effective worker bound.
+func (e *Engine) Parallelism() int { return e.par }
+
+// lookup resolves a graph name to its managed entry. Callers lock the
+// returned entry; the registry lock is not held on return, so the entry
+// stays usable even if the graph is concurrently removed (the query then
+// answers against the pre-removal snapshot).
+func (e *Engine) lookup(graphName string) (*managed, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	mg, ok := e.gs[graphName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	}
+	return mg, nil
 }
 
 // resultGraphFor returns the memoized result graph for (key, rel), building
@@ -170,6 +246,7 @@ func (e *Engine) AddGraph(name string, g *graph.Graph) error {
 		return fmt.Errorf("%w: %q", ErrGraphExists, name)
 	}
 	e.gs[name] = &managed{
+		epoch:    e.epochs.Add(1),
 		g:        g,
 		matchers: map[string]*incremental.Matcher{},
 		queries:  map[string]*pattern.Pattern{},
@@ -185,19 +262,50 @@ func (e *Engine) RemoveGraph(name string) error {
 		return fmt.Errorf("%w: %q", ErrNoGraph, name)
 	}
 	delete(e.gs, name)
+	// Purge caches for memory hygiene. Correctness does not depend on
+	// this: keys carry the managed epoch, so entries a still-in-flight
+	// query re-inserts after this purge can never serve a graph later
+	// re-registered under the same name.
 	e.cache.InvalidateGraph(name)
+	e.rgMu.Lock()
+	for key := range e.rgCache {
+		if key.GraphName == name {
+			delete(e.rgCache, key)
+		}
+	}
+	for key := range e.rankCache {
+		if key.GraphName == name {
+			delete(e.rankCache, key)
+		}
+	}
+	e.rgMu.Unlock()
 	return nil
 }
 
-// Graph returns the named graph for read-only use.
+// Graph returns the named graph for read-only use. The returned pointer
+// is unsynchronized: the caller must not read it concurrently with
+// engine mutations — use WithGraph for a read scope that excludes
+// writers.
 func (e *Engine) Graph(name string) (*graph.Graph, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	mg, ok := e.gs[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoGraph, name)
+	mg, err := e.lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	return mg.g, nil
+}
+
+// WithGraph runs fn with the named graph locked for read: fn may read
+// the graph freely — no engine mutation runs concurrently — but must
+// not retain it after returning, call engine methods on the same graph
+// (self-deadlock with a waiting writer), or mutate it.
+func (e *Engine) WithGraph(name string, fn func(*graph.Graph) error) error {
+	mg, err := e.lookup(name)
+	if err != nil {
+		return err
+	}
+	mg.mu.RLock()
+	defer mg.mu.RUnlock()
+	return fn(mg.g)
 }
 
 // ListGraphs returns the names of managed graphs, sorted.
@@ -224,26 +332,23 @@ type Result struct {
 }
 
 // Query evaluates q on the named graph and ranks the top k matches of the
-// output node (k <= 0 ranks all).
+// output node (k <= 0 ranks all). See QueryCtx for the cancellable form
+// and QueryBatch/QueryAsync for concurrent dispatch.
 func (e *Engine) Query(graphName string, q *pattern.Pattern, k int) (*Result, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	mg, ok := e.gs[graphName]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoGraph, graphName)
-	}
+	return e.QueryCtx(context.Background(), graphName, q, k)
+}
+
+// queryLocked runs the evaluation pipeline. The caller holds mg.mu for
+// read and an execution token.
+func (e *Engine) queryLocked(graphName string, mg *managed, q *pattern.Pattern, k int, start time.Time) *Result {
 	rel, source, plan := e.evaluate(graphName, mg, q)
-	key := cache.Key{GraphName: graphName, GraphVersion: mg.g.Version(), PatternHash: q.Hash()}
+	key := cache.Key{GraphName: graphName, Epoch: mg.epoch, GraphVersion: mg.g.Version(), PatternHash: q.Hash()}
 	rg := e.resultGraphFor(key, mg.g, q, rel)
 	ranked := e.rankingFor(key, rg, q, rel)
 	if k > 0 && k < len(ranked) {
 		ranked = ranked[:k]
 	}
-	res := &Result{
+	return &Result{
 		Relation:    rel,
 		ResultGraph: rg,
 		TopK:        append([]rank.Ranked(nil), ranked...),
@@ -251,17 +356,31 @@ func (e *Engine) Query(graphName string, q *pattern.Pattern, k int) (*Result, er
 		Source:      source,
 		Elapsed:     time.Since(start),
 	}
-	return res, nil
+}
+
+// evalWorkers is the intra-query worker budget: the full Parallelism for
+// a lone query, split evenly when several queries are in flight so a
+// batch does not oversubscribe the machine par-squared ways.
+func (e *Engine) evalWorkers() int {
+	inflight := int(e.inflight.Load())
+	if inflight < 1 {
+		inflight = 1
+	}
+	w := e.par / inflight
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // evaluate runs the pipeline described in the package comment. Callers
-// hold at least a read lock.
+// hold mg.mu for at least read.
 func (e *Engine) evaluate(graphName string, mg *managed, q *pattern.Pattern) (*match.Relation, Source, Plan) {
 	plan := PlanBounded
 	if q.IsPlainSimulation() {
 		plan = PlanSimulation
 	}
-	key := cache.Key{GraphName: graphName, GraphVersion: mg.g.Version(), PatternHash: q.Hash()}
+	key := cache.Key{GraphName: graphName, Epoch: mg.epoch, GraphVersion: mg.g.Version(), PatternHash: q.Hash()}
 	if rel, ok := e.cache.Get(key); ok {
 		return rel, SourceCache, plan
 	}
@@ -272,10 +391,13 @@ func (e *Engine) evaluate(graphName string, mg *managed, q *pattern.Pattern) (*m
 	}
 	// Results persisted to the store in a previous session are reusable as
 	// long as the graph version (deterministic for a given mutation
-	// history) still matches.
+	// history) still matches — and the content fingerprint too, since a
+	// different graph registered under a recycled name can collide on
+	// (name, version).
 	if e.opts.Store != nil {
 		if rec, err := e.opts.Store.LoadResult(graphName, q.Hash()); err == nil &&
-			rec.GraphVersion == mg.g.Version() && rec.NumPNodes == q.NumNodes() {
+			rec.GraphVersion == mg.g.Version() && rec.NumPNodes == q.NumNodes() &&
+			rec.GraphFP == mg.fingerprint() {
 			rel := rec.Relation()
 			e.cache.Put(key, rel)
 			return rel, SourceStore, plan
@@ -286,7 +408,7 @@ func (e *Engine) evaluate(graphName string, mg *managed, q *pattern.Pattern) (*m
 		if plan == PlanSimulation {
 			onQ = simulation.Compute(mg.comp.Graph(), q)
 		} else {
-			onQ = bsim.Compute(mg.comp.Graph(), q)
+			onQ = bsim.ComputeParallel(mg.comp.Graph(), q, e.evalWorkers())
 		}
 		rel := mg.comp.Decompress(onQ)
 		e.cache.Put(key, rel)
@@ -296,13 +418,13 @@ func (e *Engine) evaluate(graphName string, mg *managed, q *pattern.Pattern) (*m
 	if plan == PlanSimulation {
 		rel = simulation.Compute(mg.g, q)
 	} else {
-		rel = bsim.Compute(mg.g, q)
+		rel = bsim.ComputeParallel(mg.g, q, e.evalWorkers())
 	}
 	e.cache.Put(key, rel)
 	if e.opts.Store != nil {
 		// Persistence is best-effort: a failed write must not fail the
 		// query (the result is still correct and cached in memory).
-		_ = e.opts.Store.SaveResult(storage.NewResultRecord(q, graphName, mg.g.Version(), rel))
+		_ = e.opts.Store.SaveResult(storage.NewResultRecord(q, graphName, mg.g.Version(), mg.fingerprint(), rel))
 	}
 	return rel, SourceDirect, plan
 }
@@ -326,12 +448,12 @@ func (e *Engine) RegisterQuery(graphName string, q *pattern.Pattern) error {
 	if err := q.Validate(); err != nil {
 		return err
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	mg, ok := e.gs[graphName]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return err
 	}
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
 	h := q.Hash()
 	if _, ok := mg.matchers[h]; ok {
 		return nil // already registered
@@ -343,12 +465,12 @@ func (e *Engine) RegisterQuery(graphName string, q *pattern.Pattern) error {
 
 // UnregisterQuery stops incremental maintenance for q.
 func (e *Engine) UnregisterQuery(graphName string, q *pattern.Pattern) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	mg, ok := e.gs[graphName]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return err
 	}
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
 	h := q.Hash()
 	if _, ok := mg.matchers[h]; !ok {
 		return fmt.Errorf("%w: %s", ErrNotTracked, q.Node(q.Output()).Name)
@@ -360,12 +482,12 @@ func (e *Engine) UnregisterQuery(graphName string, q *pattern.Pattern) error {
 
 // RegisteredQueries returns the patterns under incremental maintenance.
 func (e *Engine) RegisteredQueries(graphName string) ([]*pattern.Pattern, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	mg, ok := e.gs[graphName]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return nil, err
 	}
+	mg.mu.RLock()
+	defer mg.mu.RUnlock()
 	out := make([]*pattern.Pattern, 0, len(mg.queries))
 	for _, q := range mg.queries {
 		out = append(out, q.Clone())
@@ -384,12 +506,12 @@ type Delta struct {
 // registered query incrementally, and maintains the compressed graph if
 // present. It returns per-registered-query deltas.
 func (e *Engine) ApplyUpdates(graphName string, ops []incremental.Update) ([]Delta, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	mg, ok := e.gs[graphName]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return nil, err
 	}
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
 	// Apply to the graph once; consumers sync post-hoc.
 	for i, op := range ops {
 		var err error
@@ -434,12 +556,12 @@ func (e *Engine) ApplyUpdates(graphName string, ops []incremental.Update) ([]Del
 // AddNode inserts a node into a managed graph, keeping registered queries
 // and the compressed form in sync.
 func (e *Engine) AddNode(graphName, label string, attrs graph.Attrs) (graph.NodeID, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	mg, ok := e.gs[graphName]
-	if !ok {
-		return graph.Invalid, fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return graph.Invalid, err
 	}
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
 	id := mg.g.AddNode(label, attrs)
 	for _, m := range mg.matchers {
 		m.SyncNodeAdded(id)
@@ -455,12 +577,12 @@ func (e *Engine) AddNode(graphName, label string, attrs graph.Attrs) (graph.Node
 // RemoveNode removes a node and its incident edges from a managed graph,
 // repairing registered queries and the compressed form incrementally.
 func (e *Engine) RemoveNode(graphName string, id graph.NodeID) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	mg, ok := e.gs[graphName]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return err
 	}
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
 	if !mg.g.Has(id) {
 		return graph.ErrNoNode
 	}
@@ -520,12 +642,12 @@ func (e *Engine) RemoveNode(graphName string, id graph.NodeID) error {
 // registered queries and the compressed form in sync (the predicate and
 // signature changes are repaired incrementally).
 func (e *Engine) SetNodeAttr(graphName string, id graph.NodeID, key string, v graph.Value) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	mg, ok := e.gs[graphName]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return err
 	}
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
 	if err := mg.g.SetAttr(id, key, v); err != nil {
 		return err
 	}
@@ -544,35 +666,35 @@ func (e *Engine) SetNodeAttr(graphName string, id graph.NodeID, key string, v gr
 
 // CompressGraph builds (or replaces) the compressed form of a graph.
 func (e *Engine) CompressGraph(graphName string, scheme compress.Scheme, view compress.View) (*compress.Compressed, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	mg, ok := e.gs[graphName]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return nil, err
 	}
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
 	mg.comp = compress.CompressWithView(mg.g, scheme, view)
 	return mg.comp, nil
 }
 
 // Compressed returns the current compressed form, if any.
 func (e *Engine) Compressed(graphName string) (*compress.Compressed, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	mg, ok := e.gs[graphName]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return nil, err
 	}
+	mg.mu.RLock()
+	defer mg.mu.RUnlock()
 	return mg.comp, nil
 }
 
 // DropCompression removes the compressed form.
 func (e *Engine) DropCompression(graphName string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	mg, ok := e.gs[graphName]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return err
 	}
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
 	mg.comp = nil
 	return nil
 }
@@ -582,12 +704,12 @@ func (e *Engine) SaveGraph(graphName string, format storage.Format) error {
 	if e.opts.Store == nil {
 		return errors.New("engine: no store configured")
 	}
-	e.mu.RLock()
-	mg, ok := e.gs[graphName]
-	e.mu.RUnlock()
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNoGraph, graphName)
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return err
 	}
+	mg.mu.RLock()
+	defer mg.mu.RUnlock()
 	return e.opts.Store.SaveGraph(graphName, mg.g, format)
 }
 

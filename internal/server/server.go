@@ -42,6 +42,7 @@ func New(eng *engine.Engine) *Server {
 	s.mux.HandleFunc("GET /api/graphs/{name}/stats", s.graphStats)
 	s.mux.HandleFunc("GET /api/graphs/{name}/dot", s.graphDOT)
 	s.mux.HandleFunc("POST /api/graphs/{name}/query", s.query)
+	s.mux.HandleFunc("POST /api/query/batch", s.queryBatch)
 	s.mux.HandleFunc("POST /api/graphs/{name}/updates", s.applyUpdates)
 	s.mux.HandleFunc("POST /api/graphs/{name}/nodes", s.addNode)
 	s.mux.HandleFunc("DELETE /api/graphs/{name}/nodes/{id}", s.removeNode)
@@ -90,11 +91,14 @@ func (s *Server) listGraphs(w http.ResponseWriter, r *http.Request) {
 	}
 	var out []entry
 	for _, name := range s.eng.ListGraphs() {
-		g, err := s.eng.Graph(name)
-		if err != nil {
+		var en entry
+		if err := s.eng.WithGraph(name, func(g *graph.Graph) error {
+			en = entry{Name: name, Nodes: g.NumNodes(), Edges: g.NumEdges()}
+			return nil
+		}); err != nil {
 			continue
 		}
-		out = append(out, entry{Name: name, Nodes: g.NumNodes(), Edges: g.NumEdges()})
+		out = append(out, en)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -153,14 +157,22 @@ func (s *Server) createGraph(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// Read endpoints serialize into a buffer inside the graph's read scope
+// and write to the client after releasing it: streaming to a slow client
+// under the lock would let that client stall the graph's writers (and,
+// via RWMutex writer preference, every other reader).
+
 func (s *Server) getGraph(w http.ResponseWriter, r *http.Request) {
-	g, err := s.eng.Graph(r.PathValue("name"))
+	var buf jsonBuilder
+	err := s.eng.WithGraph(r.PathValue("name"), func(g *graph.Graph) error {
+		return g.WriteJSON(&buf)
+	})
 	if err != nil {
 		writeErr(w, statusFor(err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = g.WriteJSON(w)
+	_, _ = w.Write(buf.buf)
 }
 
 func (s *Server) deleteGraph(w http.ResponseWriter, r *http.Request) {
@@ -172,27 +184,34 @@ func (s *Server) deleteGraph(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) graphStats(w http.ResponseWriter, r *http.Request) {
-	g, err := s.eng.Graph(r.PathValue("name"))
+	var body map[string]any
+	err := s.eng.WithGraph(r.PathValue("name"), func(g *graph.Graph) error {
+		st := g.ComputeStats()
+		body = map[string]any{
+			"nodes": st.Nodes, "edges": st.Edges,
+			"max_out_degree": st.MaxOutDeg, "max_in_degree": st.MaxInDeg,
+			"labels": st.Labels, "version": g.Version(),
+		}
+		return nil
+	})
 	if err != nil {
 		writeErr(w, statusFor(err), err)
 		return
 	}
-	st := g.ComputeStats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"nodes": st.Nodes, "edges": st.Edges,
-		"max_out_degree": st.MaxOutDeg, "max_in_degree": st.MaxInDeg,
-		"labels": st.Labels, "version": g.Version(),
-	})
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) graphDOT(w http.ResponseWriter, r *http.Request) {
-	g, err := s.eng.Graph(r.PathValue("name"))
+	var buf jsonBuilder
+	err := s.eng.WithGraph(r.PathValue("name"), func(g *graph.Graph) error {
+		return viz.WriteGraph(&buf, g, viz.Options{MaxNodes: 500, DrillDown: r.URL.Query().Get("drilldown") == "1"})
+	})
 	if err != nil {
 		writeErr(w, statusFor(err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/vnd.graphviz")
-	_ = viz.WriteGraph(w, g, viz.Options{MaxNodes: 500, DrillDown: r.URL.Query().Get("drilldown") == "1"})
+	_, _ = w.Write(buf.buf)
 }
 
 // queryRequest carries a pattern in JSON form or DSL text, plus K and an
@@ -268,11 +287,6 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	g, err := s.eng.Graph(name)
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
 	metric, err := metricByName(req.Metric)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -281,7 +295,7 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 	var res *engine.Result
 	switch req.Semantics {
 	case "", "bounded":
-		res, err = s.eng.Query(name, q, req.K)
+		res, err = s.eng.QueryCtx(r.Context(), name, q, req.K)
 		if err != nil {
 			writeErr(w, statusFor(err), err)
 			return
@@ -291,26 +305,58 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 		}
 	case "dual":
 		// Dual simulation bypasses the engine pipeline (no cache or
-		// compression routing is defined for it); evaluated directly.
+		// compression routing is defined for it); evaluated directly
+		// inside the graph's read scope.
 		if err := q.Validate(); err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		start := time.Now()
-		rel := strongsim.Dual(g, q)
-		rg := match.BuildResultGraph(g, q, rel)
-		res = &engine.Result{
-			Relation:    rel,
-			ResultGraph: rg,
-			TopK:        rank.TopKByMetricWithResultGraph(rg, q, rel, req.K, metric),
-			Plan:        "dual-simulation",
-			Source:      engine.SourceDirect,
-			Elapsed:     time.Since(start),
+		err = s.eng.WithGraph(name, func(g *graph.Graph) error {
+			start := time.Now()
+			rel := strongsim.Dual(g, q)
+			rg := match.BuildResultGraph(g, q, rel)
+			res = &engine.Result{
+				Relation:    rel,
+				ResultGraph: rg,
+				TopK:        rank.TopKByMetricWithResultGraph(rg, q, rel, req.K, metric),
+				Plan:        "dual-simulation",
+				Source:      engine.SourceDirect,
+				Elapsed:     time.Since(start),
+			}
+			return nil
+		})
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
 		}
 	default:
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown semantics %q", req.Semantics))
 		return
 	}
+	writeJSON(w, http.StatusOK, s.render(name, q, res, r.URL.Query().Get("dot") == "1"))
+}
+
+// render builds the wire response inside the graph's read scope so
+// display-name lookups and DOT export never race engine mutations. If
+// the graph was removed after the query answered (against its
+// pre-removal snapshot), the result is still rendered — just without
+// graph-resident display names or DOT.
+func (s *Server) render(name string, q *pattern.Pattern, res *engine.Result, withDot bool) queryResponse {
+	var resp queryResponse
+	if err := s.eng.WithGraph(name, func(g *graph.Graph) error {
+		resp = responseFor(g, q, res, withDot)
+		return nil
+	}); err != nil {
+		resp = responseFor(nil, q, res, false)
+	}
+	return resp
+}
+
+// responseFor renders an engine result into the wire form shared by the
+// single-query and batch endpoints. g may be nil (graph removed after
+// the query answered): matches and ranks still render, display names
+// and DOT are skipped.
+func responseFor(g *graph.Graph, q *pattern.Pattern, res *engine.Result, withDot bool) queryResponse {
 	resp := queryResponse{
 		Plan:      string(res.Plan),
 		Source:    string(res.Source),
@@ -328,18 +374,87 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, t := range res.TopK {
 		entry := topEntry{Node: int64(t.Node), Rank: t.Rank, Connected: t.Connected}
-		if v, ok := g.Attr(t.Node, "name"); ok {
-			entry.Name = v.Str()
+		if g != nil {
+			if v, ok := g.Attr(t.Node, "name"); ok {
+				entry.Name = v.Str()
+			}
 		}
 		resp.TopK = append(resp.TopK, entry)
 	}
-	if r.URL.Query().Get("dot") == "1" {
+	if withDot && g != nil {
 		var dot jsonBuilder
 		if err := viz.WriteTopK(&dot, g, res.ResultGraph, res.TopK, viz.Options{}); err == nil {
 			resp.ResultDOT = dot.String()
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
+}
+
+// batchQuery is one query of a batch request: a target graph plus the
+// single-endpoint pattern/DSL, K, and metric fields (bounded semantics
+// only — dual simulation has no engine pipeline to dispatch through).
+type batchQuery struct {
+	Graph   string          `json:"graph"`
+	Pattern json.RawMessage `json:"pattern,omitempty"`
+	DSL     string          `json:"dsl,omitempty"`
+	K       int             `json:"k"`
+	Metric  string          `json:"metric,omitempty"`
+}
+
+// batchEntry is one outcome: either Error or the embedded response.
+type batchEntry struct {
+	queryResponse
+	Error string `json:"error,omitempty"`
+}
+
+// queryBatch evaluates many queries in one request through the engine's
+// bounded parallel executor. Outcomes come back in request order, and a
+// failed query never fails the batch.
+func (s *Server) queryBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Queries []batchQuery `json:"queries"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("request needs a non-empty queries list"))
+		return
+	}
+	entries := make([]batchEntry, len(req.Queries))
+	patterns := make([]*pattern.Pattern, len(req.Queries))
+	metrics := make([]rank.Metric, len(req.Queries))
+	var reqs []engine.QueryRequest
+	var at []int // reqs index -> entries index
+	for i, bq := range req.Queries {
+		q, err := parsePattern(queryRequest{Pattern: bq.Pattern, DSL: bq.DSL})
+		if err == nil {
+			metrics[i], err = metricByName(bq.Metric)
+		}
+		if err != nil {
+			entries[i].Error = err.Error()
+			continue
+		}
+		patterns[i] = q
+		reqs = append(reqs, engine.QueryRequest{Graph: bq.Graph, Pattern: q, K: bq.K})
+		at = append(at, i)
+	}
+	outcomes := s.eng.QueryBatch(r.Context(), reqs)
+	for j, oc := range outcomes {
+		i := at[j]
+		if oc.Err != nil {
+			entries[i].Error = oc.Err.Error()
+			continue
+		}
+		bq := req.Queries[i]
+		if bq.Metric != "" && bq.Metric != (rank.AvgDistance{}).Name() {
+			oc.Result.TopK = rank.TopKByMetricWithResultGraph(
+				oc.Result.ResultGraph, patterns[i], oc.Result.Relation, bq.K, metrics[i])
+		}
+		entries[i].queryResponse = s.render(bq.Graph, patterns[i], oc.Result, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": entries})
 }
 
 // jsonBuilder is a tiny strings.Builder alias implementing io.Writer.

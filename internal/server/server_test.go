@@ -422,3 +422,57 @@ func TestCacheStatsEndpoint(t *testing.T) {
 		t.Errorf("cache stats = %v, want at least one hit", st)
 	}
 }
+
+func TestQueryBatchEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+	req := map[string]any{"queries": []map[string]any{
+		{"graph": "paper", "dsl": dataset.PaperQueryDSL, "k": 1},
+		{"graph": "missing", "dsl": dataset.PaperQueryDSL, "k": 1},
+		{"graph": "paper", "dsl": "node broken ["},
+		{"graph": "paper", "dsl": dataset.PaperQueryDSL, "k": 2, "metric": "degree"},
+	}}
+	resp, body := do(t, "POST", ts.URL+"/api/query/batch", req)
+	if resp.StatusCode != 200 {
+		t.Fatalf("batch: %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Results []struct {
+			Plan    string             `json:"plan"`
+			Matches map[string][]int64 `json:"matches"`
+			TopK    []struct {
+				Name string `json:"name"`
+			} `json:"top_k"`
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("results = %d, want 4", len(out.Results))
+	}
+	if out.Results[0].Error != "" || out.Results[0].Plan != "bounded-simulation" {
+		t.Errorf("result 0 = %+v", out.Results[0])
+	}
+	if len(out.Results[0].TopK) != 1 || out.Results[0].TopK[0].Name != "Bob" {
+		t.Errorf("result 0 topK = %v, want Bob", out.Results[0].TopK)
+	}
+	if !strings.Contains(out.Results[1].Error, "no such graph") {
+		t.Errorf("result 1 error = %q, want no such graph", out.Results[1].Error)
+	}
+	if out.Results[2].Error == "" {
+		t.Error("result 2: bad DSL did not error")
+	}
+	if out.Results[3].Error != "" || len(out.Results[3].TopK) != 2 {
+		t.Errorf("result 3 = %+v", out.Results[3])
+	}
+}
+
+func TestQueryBatchEndpointRejectsEmpty(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, _ := do(t, "POST", ts.URL+"/api/query/batch", map[string]any{"queries": []any{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d, want 400", resp.StatusCode)
+	}
+}

@@ -171,7 +171,7 @@ func TestResultRecordRoundTrip(t *testing.T) {
 	g, _ := dataset.PaperGraph()
 	q := dataset.PaperQuery()
 	rel := bsim.Compute(g, q)
-	rec := NewResultRecord(q, "paper", g.Version(), rel)
+	rec := NewResultRecord(q, "paper", g.Version(), GraphFingerprint(g), rel)
 	if err := s.SaveResult(rec); err != nil {
 		t.Fatalf("SaveResult: %v", err)
 	}
@@ -197,7 +197,7 @@ func TestLoadResultRejectsCorruptedFile(t *testing.T) {
 	}
 	g, _ := dataset.PaperGraph()
 	q := dataset.PaperQuery()
-	rec := NewResultRecord(q, "paper", g.Version(), bsim.Compute(g, q))
+	rec := NewResultRecord(q, "paper", g.Version(), GraphFingerprint(g), bsim.Compute(g, q))
 	if err := s.SaveResult(rec); err != nil {
 		t.Fatal(err)
 	}

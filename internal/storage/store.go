@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
@@ -166,16 +167,32 @@ type ResultRecord struct {
 	PatternHash  string     `json:"pattern_hash"`
 	GraphName    string     `json:"graph_name"`
 	GraphVersion uint64     `json:"graph_version"`
+	GraphFP      uint64     `json:"graph_fp"`
 	NumPNodes    int        `json:"num_pattern_nodes"`
 	Pairs        [][2]int64 `json:"pairs"`
 }
 
-// NewResultRecord captures a relation for persistence.
-func NewResultRecord(q *pattern.Pattern, graphName string, graphVersion uint64, r *match.Relation) *ResultRecord {
+// GraphFingerprint digests a graph's full content (nodes, labels,
+// attributes, edges) via its canonical JSON form. Result records carry it
+// so a stored result is only reused for the graph it was computed on —
+// the (name, version) pair alone aliases across different graphs
+// registered under a recycled name, since versions are per-graph
+// mutation counters.
+func GraphFingerprint(g *graph.Graph) uint64 {
+	h := fnv.New64a()
+	_ = g.WriteJSON(h)
+	return h.Sum64()
+}
+
+// NewResultRecord captures a relation for persistence. graphFP is the
+// GraphFingerprint of the graph the relation was computed on (callers
+// that evaluate repeatedly should memoize it rather than recompute).
+func NewResultRecord(q *pattern.Pattern, graphName string, graphVersion, graphFP uint64, r *match.Relation) *ResultRecord {
 	rec := &ResultRecord{
 		PatternHash:  q.Hash(),
 		GraphName:    graphName,
 		GraphVersion: graphVersion,
+		GraphFP:      graphFP,
 		NumPNodes:    r.NumPatternNodes(),
 	}
 	for _, p := range r.Pairs() {
