@@ -46,6 +46,7 @@ import (
 
 	"expfinder/internal/bsim"
 	"expfinder/internal/compress"
+	"expfinder/internal/distindex"
 	"expfinder/internal/engine"
 	"expfinder/internal/generator"
 	"expfinder/internal/graph"
@@ -304,6 +305,48 @@ func CompressGraph(g *Graph, scheme CompressionScheme) *CompressedGraph {
 // answered on it).
 func CompressGraphWithView(g *Graph, scheme CompressionScheme, view AttrView) *CompressedGraph {
 	return compress.CompressWithView(g, scheme, view)
+}
+
+// Distance index.
+type (
+	// DistanceIndex is a landmark labeling over a graph answering
+	// bounded-reachability queries in near-constant time. Build one per
+	// graph (Engine.BuildIndex for managed graphs) and pass it to
+	// MatchIndexed / MatchDualIndexed, or let the engine route through
+	// it automatically.
+	DistanceIndex = distindex.Index
+	// DistanceIndexOptions configures BuildDistanceIndex.
+	DistanceIndexOptions = distindex.Options
+	// DistanceIndexStats summarizes an index.
+	DistanceIndexStats = distindex.Stats
+)
+
+// BuildDistanceIndex constructs a landmark distance index over g. The
+// zero options select every node as a landmark (complete cover: every
+// query answered from labels alone).
+func BuildDistanceIndex(g *Graph, opts DistanceIndexOptions) *DistanceIndex {
+	return distindex.Build(g, opts)
+}
+
+// MatchIndexed is Match with support counters answered through a distance
+// index; the relation is identical, the work can be far smaller for
+// selective predicates with deep bounds. An index built over a different
+// graph cannot answer for g — the call then degrades to plain Match
+// rather than computing garbage.
+func MatchIndexed(g *Graph, q *Query, ix *DistanceIndex) *MatchRelation {
+	if ix == nil || ix.Graph() != g {
+		return bsim.Compute(g, q)
+	}
+	return bsim.ComputeIndexed(g, q, ix)
+}
+
+// MatchDualIndexed is MatchDual accelerated by a distance index, under
+// the same graph-identity guard as MatchIndexed.
+func MatchDualIndexed(g *Graph, q *Query, ix *DistanceIndex) *MatchRelation {
+	if ix == nil || ix.Graph() != g {
+		return strongsim.Dual(g, q)
+	}
+	return strongsim.DualIndexed(g, q, ix)
 }
 
 // Generators.

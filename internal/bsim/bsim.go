@@ -14,6 +14,47 @@ import (
 	"expfinder/internal/pattern"
 )
 
+// Oracle answers exact bounded-reachability queries: whether v lies in
+// u's out-ball of radius bound (bound < 0 meaning unbounded), under the
+// same nonempty-path semantics as graph.OutBall. distindex.Index
+// implements it. Answers must be exact — the relation computed with an
+// oracle attached is identical to the one computed without, which the
+// property tests in this package pin down.
+type Oracle interface {
+	WithinOut(u, v graph.NodeID, bound int) bool
+}
+
+// batchCounter is optionally implemented by oracles that can count a
+// whole target list against one source in a single call (distindex.Index
+// loads the source label once and early-exit scans each target label),
+// and report the work done in units comparable to scanning one adjacency
+// entry during BFS. The indexed counting strategy prefers it over
+// per-pair WithinOut calls, and its work reports drive the per-edge
+// strategy probe.
+type batchCounter interface {
+	CountWithinOut(u graph.NodeID, targets []graph.NodeID, bound int) int
+	// ProbePairWork reports the work a CountWithinOut(u, targets, bound)
+	// call would do, giving up (and returning what it counted so far)
+	// once the tally exceeds budget — so probing a losing strategy never
+	// costs more than the winning one.
+	ProbePairWork(u graph.NodeID, targets []graph.NodeID, bound, budget int) int
+}
+
+// defaultQueryCost is the assumed per-target cost for oracles without
+// batch counting.
+const defaultQueryCost = 32
+
+// probeSamples is how many candidates the per-edge strategy probe
+// traverses; sampling several (evenly spaced through the candidate list)
+// keeps one unrepresentative candidate — a sink, or the one hub — from
+// deciding the strategy for the whole edge.
+const probeSamples = 4
+
+// bfsNodeCost is the per-visited-node overhead of a bounded BFS (queue
+// and callback bookkeeping), in adjacency-entry units. Ball work is
+// edges scanned plus this times nodes visited.
+const bfsNodeCost = 4
+
 // Compute returns the unique maximum bounded-simulation relation M(Q,G).
 //
 // The algorithm follows PVLDB 2010: start from predicate candidates, give
@@ -23,7 +64,7 @@ import (
 // in v's bounded *in*-ball loses one unit of support on the corresponding
 // edge. Worst case O(|Eq| * |V| * (|V|+|E|)).
 func Compute(g *graph.Graph, q *pattern.Pattern) *match.Relation {
-	s := newState(g, q, 1)
+	s := newState(g, q, 1, nil)
 	return s.relation()
 }
 
@@ -39,7 +80,26 @@ func Compute(g *graph.Graph, q *pattern.Pattern) *match.Relation {
 // relation and the refinement is confluent, so the relation is identical
 // to Compute's for every worker count.
 func ComputeParallel(g *graph.Graph, q *pattern.Pattern, workers int) *match.Relation {
-	s := newState(g, q, workers)
+	s := newState(g, q, workers, nil)
+	return s.relation()
+}
+
+// ComputeIndexed is Compute with the support-counter initialization
+// answered by a distance oracle: instead of one bounded BFS per (pattern
+// edge, candidate), each counter is the number of target candidates the
+// oracle proves within the bound — |cand(u)| * |cand(u')| near-constant
+// queries per edge instead of |cand(u)| graph traversals. This wins when
+// predicates are selective and bounds are large (big balls, small
+// candidate lists) and loses when candidate sets rival ball sizes; the
+// relation is identical either way.
+func ComputeIndexed(g *graph.Graph, q *pattern.Pattern, ix Oracle) *match.Relation {
+	s := newState(g, q, 1, ix)
+	return s.relation()
+}
+
+// ComputeIndexedParallel is ComputeIndexed fanned out like ComputeParallel.
+func ComputeIndexedParallel(g *graph.Graph, q *pattern.Pattern, ix Oracle, workers int) *match.Relation {
+	s := newState(g, q, workers, ix)
 	return s.relation()
 }
 
@@ -53,16 +113,18 @@ type removal struct {
 type state struct {
 	g     *graph.Graph
 	q     *pattern.Pattern
+	ix    Oracle // optional distance oracle for support-counter init
 	maxID int
 	cand  [][]bool  // [patternNode][nodeID]
 	count [][]int32 // [patternEdgeIdx][nodeID] remaining support
 }
 
-func newState(g *graph.Graph, q *pattern.Pattern, workers int) *state {
+func newState(g *graph.Graph, q *pattern.Pattern, workers int, ix Oracle) *state {
 	nq := q.NumNodes()
 	s := &state{
 		g:     g,
 		q:     q,
+		ix:    ix,
 		maxID: g.MaxID(),
 		cand:  make([][]bool, nq),
 		count: make([][]int32, len(q.Edges())),
@@ -98,16 +160,17 @@ func newState(g *graph.Graph, q *pattern.Pattern, workers int) *state {
 			if e.To != rm.u {
 				continue
 			}
-			inBall := g.InBall(rm.v, e.Bound)
-			for p := range inBall.Dist {
-				if !s.cand[e.From][p] {
-					continue
+			from, bound := e.From, e.Bound
+			g.VisitInBall(rm.v, bound, func(p graph.NodeID, _ int) bool {
+				if !s.cand[from][p] {
+					return true
 				}
 				s.count[ei][p]--
 				if s.count[ei][p] == 0 {
-					remove(e.From, p)
+					remove(from, p)
 				}
-			}
+				return true
+			})
 		}
 	}
 	return s
@@ -170,26 +233,161 @@ func (s *state) initCands(workers int) {
 	})
 }
 
+// candList materializes the candidate set of pattern node u as a slice,
+// for the oracle-driven counting loops.
+func (s *state) candList(u pattern.NodeIdx) []graph.NodeID {
+	var out []graph.NodeID
+	for vi, ok := range s.cand[u] {
+		if ok {
+			out = append(out, graph.NodeID(vi))
+		}
+	}
+	return out
+}
+
+// oracleWins probes whether counting support via the oracle beats the
+// bounded BFS for one pattern edge: for a few evenly spaced candidates it
+// measures the work a BFS count costs (adjacency entries scanned plus
+// per-node overhead) against the work the oracle's batch count reports,
+// then compares the totals. The probe is deterministic — work counts,
+// not wall time — so plan behavior is reproducible, and each sample runs
+// both measurements under a geometrically growing shared budget, so its
+// cost is bounded by a small multiple of the *cheaper* strategy — the
+// probe never pays a losing side to completion.
+func (s *state) oracleWins(candidates, targets []graph.NodeID, bound int, bc batchCounter, batched bool) bool {
+	if len(candidates) == 0 || len(targets) == 0 {
+		return false
+	}
+	samples := probeSamples
+	if samples > len(candidates) {
+		samples = len(candidates)
+	}
+	step := len(candidates) / samples
+	ballWork, pairWork := 0, 0
+	for i := 0; i < samples; i++ {
+		pw, bw := s.probeSample(candidates[i*step], targets, bound, bc, batched)
+		pairWork += pw
+		ballWork += bw
+	}
+	// 3:2 calibration: a label entry probed costs ~1.5x an adjacency
+	// entry scanned (pointer-chasing vs sequential frontier walks).
+	return pairWork*3 < ballWork*2
+}
+
+// probeSample measures one candidate's pairwise-oracle work and BFS-count
+// work under a shared budget that quadruples until at least one side
+// finishes. The finished side's number is exact; a capped side's number
+// is a lower bound already past the budget the other side met — enough
+// to order them, which is all the strategy choice needs.
+func (s *state) probeSample(v graph.NodeID, targets []graph.NodeID, bound int, bc batchCounter, batched bool) (pairWork, ballWork int) {
+	if !batched {
+		pairWork = len(targets) * defaultQueryCost
+		ballWork = s.cappedBallWork(v, bound, pairWork*2)
+		return pairWork, ballWork
+	}
+	for budget := 1 << 8; ; budget *= 4 {
+		pairWork = bc.ProbePairWork(v, targets, bound, budget)
+		ballWork = s.cappedBallWork(v, bound, budget)
+		pairDone, ballDone := pairWork <= budget, ballWork <= budget
+		switch {
+		case pairDone && ballDone:
+			return pairWork, ballWork
+		case pairDone:
+			// Measure the ball up to the 3:2 decision margin: if it is
+			// still capped past pairWork*3/2 the comparison lands on the
+			// oracle with the clamped value, which is all we need.
+			ballWork = s.cappedBallWork(v, bound, pairWork*3/2)
+			return pairWork, ballWork
+		case ballDone:
+			// Symmetric: a pair probe capped past ballWork already loses
+			// the 3:2 comparison with its clamped value.
+			pairWork = bc.ProbePairWork(v, targets, bound, ballWork)
+			return pairWork, ballWork
+		}
+		if budget >= 1<<30 {
+			return pairWork, ballWork
+		}
+	}
+}
+
+// cappedBallWork totals the work of one bounded BFS count from v —
+// adjacency entries scanned plus per-node overhead — giving up once the
+// tally exceeds budget.
+func (s *state) cappedBallWork(v graph.NodeID, bound, budget int) int {
+	work := s.g.OutDegree(v)
+	s.g.VisitOutBall(v, bound, func(w graph.NodeID, _ int) bool {
+		work += s.g.OutDegree(w) + bfsNodeCost
+		return work <= budget
+	})
+	return work
+}
+
 // initCounts fills the support counters, returning the zero-support
 // candidates. With workers > 1 the node range is split into contiguous
 // chunks processed concurrently; counter cells are per-(edge, node), so
 // writes never collide across chunks.
+//
+// Three counting strategies, chosen per edge: bound-1 edges count over
+// the adjacency list directly; with an oracle attached, larger bounds
+// count oracle answers against the target candidate list; otherwise one
+// bounded BFS per candidate walks the out-ball.
 func (s *state) initCounts(workers int) []removal {
 	edges := s.q.Edges()
+	// Per-edge oracle strategy, decided deterministically up front (the
+	// candidate sets are stable during counter init): materialize the
+	// target candidate list, probe the ball cost of the first candidate,
+	// and take the oracle only where pairwise queries are cheaper.
+	var toLists [][]graph.NodeID
+	var useIx []bool
+	bc, batched := s.ix.(batchCounter)
+	if s.ix != nil {
+		toLists = make([][]graph.NodeID, len(edges))
+		useIx = make([]bool, len(edges))
+		for ei, e := range edges {
+			if e.Bound == 1 {
+				continue
+			}
+			toLists[ei] = s.candList(e.To)
+			useIx[ei] = s.oracleWins(s.candList(e.From), toLists[ei], e.Bound, bc, batched)
+		}
+	}
 	countChunk := func(lo, hi int) []removal {
 		var pending []removal
 		for ei, e := range edges {
+			candTo := s.cand[e.To]
 			for vi := lo; vi < hi; vi++ {
 				v := graph.NodeID(vi)
 				if !s.cand[e.From][v] {
 					continue
 				}
-				ball := s.g.OutBall(v, e.Bound)
 				var c int32
-				for w := range ball.Dist {
-					if s.cand[e.To][w] {
-						c++
+				switch {
+				case e.Bound == 1:
+					// OutBall(v, 1) is exactly the successor list (simple
+					// graphs: no parallel edges; a self-loop puts v in its
+					// own ball and in Out(v) alike).
+					for _, w := range s.g.Out(v) {
+						if candTo[w] {
+							c++
+						}
 					}
+				case s.ix != nil && useIx[ei]:
+					if batched {
+						c = int32(bc.CountWithinOut(v, toLists[ei], e.Bound))
+					} else {
+						for _, w := range toLists[ei] {
+							if s.ix.WithinOut(v, w, e.Bound) {
+								c++
+							}
+						}
+					}
+				default:
+					s.g.VisitOutBall(v, e.Bound, func(w graph.NodeID, _ int) bool {
+						if candTo[w] {
+							c++
+						}
+						return true
+					})
 				}
 				s.count[ei][v] = c
 				if c == 0 {

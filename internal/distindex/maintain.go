@@ -1,0 +1,235 @@
+package distindex
+
+import "expfinder/internal/graph"
+
+// Sync repairs the index after ops were already applied to the graph (the
+// engine applies the batch first, then syncs each consumer — the same
+// contract as incremental.Matcher.Sync and compress.Compressed.Sync).
+//
+// Edge insertions only shrink distances, so the labels are repaired in
+// place with resumed pruned BFS passes. Edge deletions can grow distances,
+// which 2-hop labels cannot repair cheaply; any deletion invalidates the
+// index (queries keep answering exactly through the BFS fallback, and
+// Fresh reports false until a rebuild).
+func (ix *Index) Sync(ops []Update) {
+	anyInsert := false
+	for _, op := range ops {
+		if op.Insert {
+			anyInsert = true
+		} else {
+			ix.stale = true
+		}
+	}
+	if !ix.stale && anyInsert {
+		// Repaired entries are only upper bounds on the (possibly shrunk)
+		// distances; the partial-index lower bounds need exact entries.
+		ix.lbExact = false
+		// Repair against the fully updated graph. A batch can create new
+		// shortest paths chaining several inserted edges; one pass per
+		// edge usually restores the cover, but each pass may surface
+		// anchors for another, so iterate to a fixpoint. If the fixpoint
+		// does not settle quickly something is deeply wrong — give up and
+		// invalidate rather than loop.
+		for pass := 0; pass < 16; pass++ {
+			changed := false
+			for _, op := range ops {
+				if ix.insertRepair(op.From, op.To) {
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+			if pass == 15 {
+				ix.stale = true
+			}
+		}
+	}
+	ix.version = ix.g.Version()
+}
+
+// insertRepair restores the label cover after inserting edge (a, b),
+// following the incremental pruned-labeling scheme (Akiba/Iwata/Yoshida,
+// WWW 2014): every new shortest path h -> ... -> a -> b -> ... -> x is
+// covered by resuming, for each landmark h in lin[a], a forward pruned
+// BFS from b at distance d(h->a)+1 — and symmetrically backward from a
+// for each landmark in lout[b]. Entries are only added or improved, so
+// upper bounds stay realizable; individual stale entries may now
+// overestimate, which disables the partial-index lower bounds (lbExact).
+// Reports whether any label changed.
+func (ix *Index) insertRepair(a, b graph.NodeID) bool {
+	if !ix.g.Has(a) || !ix.g.Has(b) {
+		return false
+	}
+	// An endpoint past the labeled id space means a node was added
+	// without SyncNodeAdded: the landmark set no longer covers the graph
+	// (and the label arrays would index out of range), so the only safe
+	// repair is invalidation — queries keep answering exactly through
+	// the BFS fallback until a rebuild.
+	if int(a) >= len(ix.rank) || int(b) >= len(ix.rank) {
+		ix.stale = true
+		return false
+	}
+	changed := false
+	// Snapshot the anchors: the resumed BFS mutates labels, and appending
+	// to lin[a]/lout[b] mid-iteration must not extend the anchor walk.
+	anchors := append([]entry(nil), ix.lin[a]...)
+	for _, e := range anchors {
+		if ix.resumeBFS(e.rank, b, e.d+1, false) {
+			changed = true
+		}
+	}
+	anchors = append(anchors[:0], ix.lout[b]...)
+	for _, e := range anchors {
+		if ix.resumeBFS(e.rank, a, e.d+1, true) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// resumeBFS continues landmark ord[r]'s pruned BFS from `from` at distance
+// d0, adding or improving label entries wherever the current labels do not
+// already certify the new distance. Forward passes update lin (distances
+// from the landmark); backward passes update lout. The epoch-marked
+// visited scratch is cached on the index (repairs run serialized under
+// the owner's write lock), so the hot repair path allocates nothing.
+func (ix *Index) resumeBFS(r int32, from graph.NodeID, d0 int32, reverse bool) bool {
+	h := ix.ord[r]
+	s := ix.repairScratch()
+	s.queue = s.queue[:0]
+	s.queue = append(s.queue, nodeDist{from, d0})
+	s.mark[from] = s.epoch
+	changed := false
+	for qi := 0; qi < len(s.queue); qi++ {
+		cur := s.queue[qi]
+		if cur.id == h {
+			continue // cycle distances back to the landmark are not labeled
+		}
+		var hi int32
+		if reverse {
+			hi = ix.upperBound(cur.id, h)
+		} else {
+			hi = ix.upperBound(h, cur.id)
+		}
+		if hi <= cur.d {
+			continue // already certified: prune, and do not expand
+		}
+		side := ix.lin
+		if reverse {
+			side = ix.lout
+		}
+		before := len(side[cur.id])
+		side[cur.id] = upsertEntry(side[cur.id], r, cur.d)
+		ix.nEntries += len(side[cur.id]) - before
+		ix.repairs.Add(1)
+		changed = true
+		var next []graph.NodeID
+		if reverse {
+			next = ix.g.In(cur.id)
+		} else {
+			next = ix.g.Out(cur.id)
+		}
+		for _, nb := range next {
+			if s.mark[nb] != s.epoch {
+				s.mark[nb] = s.epoch
+				s.queue = append(s.queue, nodeDist{nb, cur.d + 1})
+			}
+		}
+	}
+	return changed
+}
+
+// repairScratch returns the index's cached repair BFS scratch with a
+// fresh epoch, (re)sized to the current id space.
+func (ix *Index) repairScratch() *buildScratch {
+	s := ix.repairSc
+	if s == nil || len(s.mark) < len(ix.rank) {
+		s = &buildScratch{mark: make([]uint32, len(ix.rank))}
+		ix.repairSc = s
+	}
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.epoch = 1
+	}
+	return s
+}
+
+// upsertEntry inserts or improves the entry for rank r in a rank-sorted
+// label, keeping it sorted.
+func upsertEntry(label []entry, r, d int32) []entry {
+	lo, hi := 0, len(label)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if label[mid].rank < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(label) && label[lo].rank == r {
+		if d < label[lo].d {
+			label[lo].d = d
+		}
+		return label
+	}
+	label = append(label, entry{})
+	copy(label[lo+1:], label[lo:])
+	label[lo] = entry{r, d}
+	return label
+}
+
+// SyncNodeAdded extends the index after g.AddNode allocated id. The new
+// node has no edges yet, so empty labels are already correct; on a
+// complete index it also joins the landmark set (at the lowest priority)
+// so that later edge insertions around it keep the cover complete.
+func (ix *Index) SyncNodeAdded(id graph.NodeID) {
+	for int(id) >= len(ix.rank) {
+		ix.rank = append(ix.rank, noRank)
+		ix.lin = append(ix.lin, nil)
+		ix.lout = append(ix.lout, nil)
+	}
+	if ix.complete && !ix.stale && ix.rank[id] == noRank {
+		r := int32(len(ix.ord))
+		ix.ord = append(ix.ord, id)
+		ix.rank[id] = r
+		ix.lin[id] = []entry{{r, 0}}
+		ix.lout[id] = []entry{{r, 0}}
+		ix.nEntries += 2
+	}
+	ix.version = ix.g.Version()
+}
+
+// SyncAttrChanged records an attribute-only mutation: distances are
+// untouched, so the index just follows the graph version.
+func (ix *Index) SyncAttrChanged(graph.NodeID) { ix.version = ix.g.Version() }
+
+// RefreshVersion re-synchronizes the tracked version after the owner
+// performed mutations it knows do not affect distances.
+func (ix *Index) RefreshVersion() { ix.version = ix.g.Version() }
+
+// Stats returns a snapshot of the index's shape and query counters. The
+// entry count is maintained incrementally, so this is O(1) label-wise —
+// cheap enough for the server to call per request under the read lock.
+func (ix *Index) Stats() Stats {
+	entries := ix.nEntries
+	return Stats{
+		Landmarks: len(ix.ord),
+		Complete:  ix.complete,
+		Fresh:     ix.Fresh(ix.g),
+		Stale:     ix.stale,
+		Nodes:     ix.g.NumNodes(),
+		Entries:   entries,
+		Bytes:     int64(entries)*8 + int64(len(ix.rank))*4,
+		BuildMS:   ix.buildTime.Milliseconds(),
+		Version:   ix.version,
+		Queries:   ix.queries.Load(),
+		Proved:    ix.proved.Load(),
+		Refuted:   ix.refuted.Load(),
+		Fallbacks: ix.fallbacks.Load(),
+		Repairs:   ix.repairs.Load(),
+	}
+}

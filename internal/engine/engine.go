@@ -11,9 +11,12 @@
 //     version;
 //  2. if Q is registered for incremental maintenance, read the maintained
 //     relation;
-//  3. if a compressed graph Gc compatible with Q exists, evaluate on Gc
+//  3. if a fresh distance index is registered and the query has bounds
+//     beyond 1, evaluate with the index-accelerated bounded-simulation
+//     plan;
+//  4. if a compressed graph Gc compatible with Q exists, evaluate on Gc
 //     and expand;
-//  4. otherwise evaluate directly — with the quadratic simulation
+//  5. otherwise evaluate directly — with the quadratic simulation
 //     algorithm when every bound is 1, the cubic bounded-simulation
 //     algorithm otherwise ("optimized query plans").
 package engine
@@ -31,6 +34,7 @@ import (
 	"expfinder/internal/bsim"
 	"expfinder/internal/cache"
 	"expfinder/internal/compress"
+	"expfinder/internal/distindex"
 	"expfinder/internal/graph"
 	"expfinder/internal/incremental"
 	"expfinder/internal/match"
@@ -46,6 +50,7 @@ var (
 	ErrNoGraph      = errors.New("engine: no such graph")
 	ErrNotTracked   = errors.New("engine: query not registered")
 	ErrIncompatible = errors.New("engine: compressed view incompatible with query")
+	ErrNoIndex      = errors.New("engine: no distance index built")
 )
 
 // Plan names the algorithm selected for a query.
@@ -55,6 +60,11 @@ type Plan string
 const (
 	PlanSimulation Plan = "simulation"         // quadratic, all bounds 1
 	PlanBounded    Plan = "bounded-simulation" // cubic
+	// PlanIndexed is bounded simulation with support counters answered by
+	// the graph's landmark distance index instead of per-candidate BFS.
+	// Selected whenever a fresh index is registered and the query has
+	// bounds beyond 1; the relation is identical to PlanBounded's.
+	PlanIndexed Plan = "indexed-bounded-simulation"
 )
 
 // Source names where a query result came from.
@@ -66,6 +76,7 @@ const (
 	SourceStore       Source = "store"
 	SourceIncremental Source = "incremental"
 	SourceCompressed  Source = "compressed"
+	SourceIndexed     Source = "indexed"
 	SourceDirect      Source = "direct"
 )
 
@@ -125,6 +136,7 @@ type managed struct {
 	epoch    uint64
 	g        *graph.Graph
 	comp     *compress.Compressed            // optional
+	idx      *distindex.Index                // optional landmark distance index
 	matchers map[string]*incremental.Matcher // pattern hash -> matcher
 	queries  map[string]*pattern.Pattern     // pattern hash -> registered pattern
 
@@ -378,7 +390,11 @@ func (e *Engine) evalWorkers() int {
 func (e *Engine) evaluate(graphName string, mg *managed, q *pattern.Pattern) (*match.Relation, Source, Plan) {
 	plan := PlanBounded
 	if q.IsPlainSimulation() {
+		// Bound-1 obligations are adjacency scans; the index cannot beat
+		// them, so plain-simulation queries never take the indexed plan.
 		plan = PlanSimulation
+	} else if mg.idx != nil && mg.idx.Fresh(mg.g) {
+		plan = PlanIndexed
 	}
 	key := cache.Key{GraphName: graphName, Epoch: mg.epoch, GraphVersion: mg.g.Version(), PatternHash: q.Hash()}
 	if rel, ok := e.cache.Get(key); ok {
@@ -403,7 +419,10 @@ func (e *Engine) evaluate(graphName string, mg *managed, q *pattern.Pattern) (*m
 			return rel, SourceStore, plan
 		}
 	}
-	if mg.comp != nil && e.compressedUsable(mg.comp, q, plan) {
+	// The indexed plan answers on the original graph and takes precedence
+	// over compressed routing (the quotient would recompute the balls the
+	// index already paid for).
+	if plan != PlanIndexed && mg.comp != nil && e.compressedUsable(mg.comp, q, plan) {
 		var onQ *match.Relation
 		if plan == PlanSimulation {
 			onQ = simulation.Compute(mg.comp.Graph(), q)
@@ -415,9 +434,14 @@ func (e *Engine) evaluate(graphName string, mg *managed, q *pattern.Pattern) (*m
 		return rel, SourceCompressed, plan
 	}
 	var rel *match.Relation
-	if plan == PlanSimulation {
+	source := SourceDirect
+	switch plan {
+	case PlanSimulation:
 		rel = simulation.Compute(mg.g, q)
-	} else {
+	case PlanIndexed:
+		rel = bsim.ComputeIndexedParallel(mg.g, q, mg.idx, e.evalWorkers())
+		source = SourceIndexed
+	default:
 		rel = bsim.ComputeParallel(mg.g, q, e.evalWorkers())
 	}
 	e.cache.Put(key, rel)
@@ -426,7 +450,7 @@ func (e *Engine) evaluate(graphName string, mg *managed, q *pattern.Pattern) (*m
 		// query (the result is still correct and cached in memory).
 		_ = e.opts.Store.SaveResult(storage.NewResultRecord(q, graphName, mg.g.Version(), mg.fingerprint(), rel))
 	}
-	return rel, SourceDirect, plan
+	return rel, source, plan
 }
 
 // compressedUsable reports whether the quotient can answer q exactly:
@@ -529,6 +553,13 @@ func (e *Engine) ApplyUpdates(graphName string, ops []incremental.Update) ([]Del
 					_ = mg.g.AddEdge(ops[j].From, ops[j].To)
 				}
 			}
+			// The rollback left the content unchanged but advanced the
+			// version; the index's labels still describe the graph
+			// exactly, so keep it routed instead of letting the version
+			// gap silently demote every query to the direct plan.
+			if mg.idx != nil {
+				mg.idx.RefreshVersion()
+			}
 			return nil, fmt.Errorf("engine: apply op %d: %w", i, err)
 		}
 	}
@@ -549,6 +580,13 @@ func (e *Engine) ApplyUpdates(graphName string, ops []incremental.Update) ([]Del
 		if err := mg.comp.Sync(cops); err != nil {
 			return nil, fmt.Errorf("engine: sync compressed graph: %w", err)
 		}
+	}
+	if mg.idx != nil {
+		iops := make([]distindex.Update, len(ops))
+		for i, op := range ops {
+			iops[i] = distindex.Update{Insert: op.Insert, From: op.From, To: op.To}
+		}
+		mg.idx.Sync(iops)
 	}
 	return deltas, nil
 }
@@ -571,6 +609,9 @@ func (e *Engine) AddNode(graphName, label string, attrs graph.Attrs) (graph.Node
 			return id, fmt.Errorf("engine: sync compressed graph: %w", err)
 		}
 	}
+	if mg.idx != nil {
+		mg.idx.SyncNodeAdded(id)
+	}
 	return id, nil
 }
 
@@ -585,6 +626,12 @@ func (e *Engine) RemoveNode(graphName string, id graph.NodeID) error {
 	defer mg.mu.Unlock()
 	if !mg.g.Has(id) {
 		return graph.ErrNoNode
+	}
+	// Removing a node shrinks reachability, which 2-hop labels cannot
+	// repair in place: invalidate up front (queries stay exact through
+	// the index's BFS fallback until a rebuild).
+	if mg.idx != nil {
+		mg.idx.Invalidate()
 	}
 	// Phase 1: detach incident edges through the ordinary edge-update
 	// path, so cascades run while the graph is still consistent.
@@ -661,6 +708,10 @@ func (e *Engine) SetNodeAttr(graphName string, id graph.NodeID, key string, v gr
 			return fmt.Errorf("engine: sync compressed graph: %w", err)
 		}
 	}
+	if mg.idx != nil {
+		// Attributes do not affect distances; just follow the version.
+		mg.idx.SyncAttrChanged(id)
+	}
 	return nil
 }
 
@@ -697,6 +748,70 @@ func (e *Engine) DropCompression(graphName string) error {
 	defer mg.mu.Unlock()
 	mg.comp = nil
 	return nil
+}
+
+// BuildIndex builds (or replaces) the landmark distance index of a graph
+// and returns its stats. Evaluation routes bounded queries through the
+// index as long as it stays fresh (edge insertions are repaired in place;
+// deletions and node removals invalidate it until the next BuildIndex).
+// The build holds the graph's write lock — queries queue behind it.
+func (e *Engine) BuildIndex(graphName string, opts distindex.Options) (distindex.Stats, error) {
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return distindex.Stats{}, err
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = e.par
+	}
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
+	mg.idx = distindex.Build(mg.g, opts)
+	return mg.idx.Stats(), nil
+}
+
+// DropIndex removes the distance index.
+func (e *Engine) DropIndex(graphName string) error {
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return err
+	}
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
+	if mg.idx == nil {
+		return fmt.Errorf("%w: %q", ErrNoIndex, graphName)
+	}
+	mg.idx = nil
+	return nil
+}
+
+// IndexStats returns the distance index's stats, or ErrNoIndex.
+func (e *Engine) IndexStats(graphName string) (distindex.Stats, error) {
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return distindex.Stats{}, err
+	}
+	mg.mu.RLock()
+	defer mg.mu.RUnlock()
+	if mg.idx == nil {
+		return distindex.Stats{}, fmt.Errorf("%w: %q", ErrNoIndex, graphName)
+	}
+	return mg.idx.Stats(), nil
+}
+
+// Index returns the current distance index, if any. Like Graph, the
+// returned pointer is unsynchronized — callers must not use it
+// concurrently with engine mutations.
+func (e *Engine) Index(graphName string) (*distindex.Index, error) {
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return nil, err
+	}
+	mg.mu.RLock()
+	defer mg.mu.RUnlock()
+	if mg.idx == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoIndex, graphName)
+	}
+	return mg.idx, nil
 }
 
 // SaveGraph persists a managed graph to the engine's store.

@@ -1,0 +1,43 @@
+package graph
+
+import "sync"
+
+// bfsScratch is the reusable state of one bounded BFS: an epoch-marked
+// visited array (clearing is O(1) — bump the epoch — unlike a bitset,
+// which would pay O(n/64) per traversal) and a frontier queue. Pooled so
+// the hot traversal paths (bounded-simulation support counting, the
+// distance index, dual simulation) allocate nothing per call.
+type bfsScratch struct {
+	mark  []uint32
+	epoch uint32
+	queue []scratchEntry
+}
+
+type scratchEntry struct {
+	id NodeID
+	d  int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return &bfsScratch{} }}
+
+// acquireScratch returns a scratch sized for ids 0..n-1 with a fresh
+// epoch and an empty queue. Release it with release() when the traversal
+// is done (never retain it across calls).
+func acquireScratch(n int) *bfsScratch {
+	s := scratchPool.Get().(*bfsScratch)
+	if len(s.mark) < n {
+		s.mark = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: reset marks once, then restart epochs
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.epoch = 1
+	}
+	s.queue = s.queue[:0]
+	return s
+}
+
+func (s *bfsScratch) release() { scratchPool.Put(s) }

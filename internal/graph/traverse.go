@@ -36,19 +36,42 @@ func (g *Graph) InBall(center NodeID, radius int) *Ball {
 
 func (g *Graph) ball(center NodeID, radius int, reverse bool) *Ball {
 	b := &Ball{Center: center, Radius: radius, Dist: map[NodeID]int{}}
+	g.visitBall(center, radius, reverse, func(id NodeID, d int) bool {
+		b.Dist[id] = d
+		return true
+	})
+	return b
+}
+
+// VisitOutBall walks the nodes reachable from center via 1..radius hops
+// (radius < 0 means unbounded), calling fn with each node and its hop
+// distance exactly once, in breadth-first order. Returning false stops the
+// walk. Nonempty-path semantics match OutBall: the center itself is
+// visited (once, at its shortest cycle length) only when it lies on a
+// cycle within the radius. Unlike OutBall, no per-call allocation happens:
+// the visited set and frontier come from a shared pool.
+func (g *Graph) VisitOutBall(center NodeID, radius int, fn func(id NodeID, d int) bool) {
+	g.visitBall(center, radius, false, fn)
+}
+
+// VisitInBall is VisitOutBall over reversed edges: it walks the nodes that
+// reach center via 1..radius hops.
+func (g *Graph) VisitInBall(center NodeID, radius int, fn func(id NodeID, d int) bool) {
+	g.visitBall(center, radius, true, fn)
+}
+
+func (g *Graph) visitBall(center NodeID, radius int, reverse bool, fn func(id NodeID, d int) bool) {
 	if !g.Has(center) {
-		return b
+		return
 	}
-	type qe struct {
-		id NodeID
-		d  int
-	}
-	queue := []qe{{center, 0}}
-	visited := map[NodeID]bool{center: true}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if radius >= 0 && cur.d >= radius {
+	s := acquireScratch(len(g.nodes))
+	defer s.release()
+	s.mark[center] = s.epoch
+	s.queue = append(s.queue, scratchEntry{center, 0})
+	sawCenter := false
+	for qi := 0; qi < len(s.queue); qi++ {
+		cur := s.queue[qi]
+		if radius >= 0 && int(cur.d) >= radius {
 			continue
 		}
 		var next []NodeID
@@ -60,22 +83,26 @@ func (g *Graph) ball(center NodeID, radius int, reverse bool) *Ball {
 		for _, nb := range next {
 			if nb == center {
 				// Nonempty-path semantics: the center is inside its own
-				// ball when it lies on a cycle of length <= radius. Record
+				// ball when it lies on a cycle of length <= radius. Report
 				// the first (shortest) return but do not re-expand it.
-				if _, ok := b.Dist[center]; !ok {
-					b.Dist[center] = cur.d + 1
+				if !sawCenter {
+					sawCenter = true
+					if !fn(center, int(cur.d)+1) {
+						return
+					}
 				}
 				continue
 			}
-			if visited[nb] {
+			if s.mark[nb] == s.epoch {
 				continue
 			}
-			visited[nb] = true
-			b.Dist[nb] = cur.d + 1
-			queue = append(queue, qe{nb, cur.d + 1})
+			s.mark[nb] = s.epoch
+			if !fn(nb, int(cur.d)+1) {
+				return
+			}
+			s.queue = append(s.queue, scratchEntry{nb, cur.d + 1})
 		}
 	}
-	return b
 }
 
 // Distance returns the hop distance of the shortest nonempty path from u to
@@ -85,26 +112,15 @@ func (g *Graph) Distance(u, v NodeID) int {
 	if !g.Has(u) || !g.Has(v) {
 		return Unreachable
 	}
-	type qe struct {
-		id NodeID
-		d  int
-	}
-	queue := []qe{{u, 0}}
-	visited := make(map[NodeID]bool, 16)
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, nb := range g.out[cur.id] {
-			if nb == v {
-				return cur.d + 1
-			}
-			if !visited[nb] {
-				visited[nb] = true
-				queue = append(queue, qe{nb, cur.d + 1})
-			}
+	d := Unreachable
+	g.visitBall(u, -1, false, func(w NodeID, dw int) bool {
+		if w == v {
+			d = dw
+			return false
 		}
-	}
-	return Unreachable
+		return true
+	})
+	return d
 }
 
 // DistancesFrom runs a full BFS from src and returns a dense distance slice
@@ -119,18 +135,12 @@ func (g *Graph) DistancesFrom(src NodeID) []int {
 		return dist
 	}
 	dist[src] = 0
-	queue := make([]NodeID, 0, 64)
-	queue = append(queue, src)
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, nb := range g.out[cur] {
-			if dist[nb] == Unreachable {
-				dist[nb] = dist[cur] + 1
-				queue = append(queue, nb)
-			}
+	g.visitBall(src, -1, false, func(id NodeID, d int) bool {
+		if id != src { // keep dist[src] = 0, not its cycle length
+			dist[id] = d
 		}
-	}
+		return true
+	})
 	return dist
 }
 
@@ -144,22 +154,19 @@ func (g *Graph) BFS(src NodeID, fn func(id NodeID, depth int) bool) {
 	if !g.Has(src) {
 		return
 	}
-	type qe struct {
-		id NodeID
-		d  int
-	}
-	visited := map[NodeID]bool{src: true}
-	queue := []qe{{src, 0}}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if !fn(cur.id, cur.d) {
+	s := acquireScratch(len(g.nodes))
+	defer s.release()
+	s.mark[src] = s.epoch
+	s.queue = append(s.queue, scratchEntry{src, 0})
+	for qi := 0; qi < len(s.queue); qi++ {
+		cur := s.queue[qi]
+		if !fn(cur.id, int(cur.d)) {
 			return
 		}
 		for _, nb := range g.out[cur.id] {
-			if !visited[nb] {
-				visited[nb] = true
-				queue = append(queue, qe{nb, cur.d + 1})
+			if s.mark[nb] != s.epoch {
+				s.mark[nb] = s.epoch
+				s.queue = append(s.queue, scratchEntry{nb, cur.d + 1})
 			}
 		}
 	}

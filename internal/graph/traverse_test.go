@@ -217,3 +217,90 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// randomDigraph builds a small random graph, optionally with self-loops
+// (quotient graphs use them), for traversal parity checks.
+func randomDigraph(r *rand.Rand, n, m int, selfLoops bool) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode("N", nil)
+	}
+	for i := 0; i < m; i++ {
+		u := NodeID(r.Intn(n))
+		v := NodeID(r.Intn(n))
+		if u == v && !selfLoops {
+			continue
+		}
+		_ = g.AddEdge(u, v)
+	}
+	return g
+}
+
+// TestVisitBallMatchesBall pins VisitOutBall/VisitInBall to the map-based
+// OutBall/InBall: same member set, same distances, each node visited once.
+func TestVisitBallMatchesBall(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(12)
+		g := randomDigraph(r, n, r.Intn(3*n), trial%3 == 0)
+		center := NodeID(r.Intn(n))
+		for _, radius := range []int{-1, 0, 1, 2, 3} {
+			for _, reverse := range []bool{false, true} {
+				var want *Ball
+				visit := g.VisitOutBall
+				if reverse {
+					want = g.InBall(center, radius)
+					visit = g.VisitInBall
+				} else {
+					want = g.OutBall(center, radius)
+				}
+				got := map[NodeID]int{}
+				visit(center, radius, func(id NodeID, d int) bool {
+					if _, dup := got[id]; dup {
+						t.Fatalf("node %d visited twice", id)
+					}
+					got[id] = d
+					return true
+				})
+				if len(got) != len(want.Dist) {
+					t.Fatalf("radius %d reverse %v: got %v want %v", radius, reverse, got, want.Dist)
+				}
+				for id, d := range want.Dist {
+					if got[id] != d {
+						t.Fatalf("radius %d reverse %v node %d: got %d want %d", radius, reverse, id, got[id], d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestVisitBallEarlyStop(t *testing.T) {
+	g, ids := buildChain(t, 6)
+	calls := 0
+	g.VisitOutBall(ids[0], -1, func(id NodeID, d int) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Fatalf("early stop after 3 calls, got %d", calls)
+	}
+	// A stopped walk must not poison the pooled scratch for the next one.
+	count := 0
+	g.VisitOutBall(ids[0], -1, func(id NodeID, d int) bool { count++; return true })
+	if count != 5 {
+		t.Fatalf("full walk after early stop visited %d nodes, want 5", count)
+	}
+}
+
+func TestVisitBallInvalidCenter(t *testing.T) {
+	g, _ := buildChain(t, 3)
+	g.VisitOutBall(Invalid, 2, func(NodeID, int) bool {
+		t.Fatal("callback on invalid center")
+		return false
+	})
+	g.VisitInBall(99, 2, func(NodeID, int) bool {
+		t.Fatal("callback on unknown center")
+		return false
+	})
+}

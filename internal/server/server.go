@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"expfinder/internal/compress"
+	"expfinder/internal/distindex"
 	"expfinder/internal/engine"
 	"expfinder/internal/generator"
 	"expfinder/internal/graph"
@@ -49,6 +50,9 @@ func New(eng *engine.Engine) *Server {
 	s.mux.HandleFunc("POST /api/graphs/{name}/nodes/{id}/attrs", s.setNodeAttrs)
 	s.mux.HandleFunc("POST /api/graphs/{name}/compress", s.compressGraph)
 	s.mux.HandleFunc("DELETE /api/graphs/{name}/compress", s.dropCompression)
+	s.mux.HandleFunc("POST /api/graphs/{name}/index", s.buildIndex)
+	s.mux.HandleFunc("GET /api/graphs/{name}/index", s.indexStats)
+	s.mux.HandleFunc("DELETE /api/graphs/{name}/index", s.dropIndex)
 	s.mux.HandleFunc("POST /api/graphs/{name}/register", s.registerQuery)
 	s.mux.HandleFunc("GET /api/cache/stats", s.cacheStats)
 	return s
@@ -74,7 +78,7 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 // statusFor maps engine errors to HTTP statuses.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, engine.ErrNoGraph):
+	case errors.Is(err, engine.ErrNoGraph), errors.Is(err, engine.ErrNoIndex):
 		return http.StatusNotFound
 	case errors.Is(err, engine.ErrGraphExists):
 		return http.StatusConflict
@@ -184,8 +188,9 @@ func (s *Server) deleteGraph(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) graphStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
 	var body map[string]any
-	err := s.eng.WithGraph(r.PathValue("name"), func(g *graph.Graph) error {
+	err := s.eng.WithGraph(name, func(g *graph.Graph) error {
 		st := g.ComputeStats()
 		body = map[string]any{
 			"nodes": st.Nodes, "edges": st.Edges,
@@ -197,6 +202,9 @@ func (s *Server) graphStats(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, statusFor(err), err)
 		return
+	}
+	if ixStats, err := s.eng.IndexStats(name); err == nil {
+		body["index"] = ixStats
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -306,21 +314,35 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 	case "dual":
 		// Dual simulation bypasses the engine pipeline (no cache or
 		// compression routing is defined for it); evaluated directly
-		// inside the graph's read scope.
+		// inside the graph's read scope — through the distance index
+		// when a fresh *complete* one is registered (a partial index
+		// would pay a per-pair BFS fallback for every label-undecided
+		// witness check, easily dwarfing the single traversal it
+		// replaces). The index pointer is fetched before entering the
+		// read scope (no nested engine locks); freshness is re-checked
+		// inside it.
 		if err := q.Validate(); err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
+		ix, ixErr := s.eng.Index(name)
 		err = s.eng.WithGraph(name, func(g *graph.Graph) error {
 			start := time.Now()
-			rel := strongsim.Dual(g, q)
+			var rel *match.Relation
+			source := engine.SourceDirect
+			if ixErr == nil && ix.Complete() && ix.Fresh(g) {
+				rel = strongsim.DualIndexed(g, q, ix)
+				source = engine.SourceIndexed
+			} else {
+				rel = strongsim.Dual(g, q)
+			}
 			rg := match.BuildResultGraph(g, q, rel)
 			res = &engine.Result{
 				Relation:    rel,
 				ResultGraph: rg,
 				TopK:        rank.TopKByMetricWithResultGraph(rg, q, rel, req.K, metric),
 				Plan:        "dual-simulation",
-				Source:      engine.SourceDirect,
+				Source:      source,
 				Elapsed:     time.Since(start),
 			}
 			return nil
@@ -628,6 +650,45 @@ func (s *Server) compressGraph(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) dropCompression(w http.ResponseWriter, r *http.Request) {
 	if err := s.eng.DropCompression(r.PathValue("name")); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// indexRequest configures a distance-index build.
+type indexRequest struct {
+	// Landmarks caps the landmark count; 0 (or absent) indexes every
+	// node, making all bounded-reachability answers label-only.
+	Landmarks int `json:"landmarks"`
+}
+
+func (s *Server) buildIndex(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req indexRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.eng.BuildIndex(name, distindex.Options{Landmarks: req.Landmarks})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) indexStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.eng.IndexStats(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) dropIndex(w http.ResponseWriter, r *http.Request) {
+	if err := s.eng.DropIndex(r.PathValue("name")); err != nil {
 		writeErr(w, statusFor(err), err)
 		return
 	}

@@ -476,3 +476,161 @@ func TestQueryBatchEndpointRejectsEmpty(t *testing.T) {
 		t.Fatalf("empty batch: %d, want 400", resp.StatusCode)
 	}
 }
+
+func TestIndexEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+
+	// No index yet: stats 404.
+	resp, _ := do(t, "GET", ts.URL+"/api/graphs/paper/index", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stats before build: %d", resp.StatusCode)
+	}
+
+	// Build (empty body -> complete index).
+	resp, body := do(t, "POST", ts.URL+"/api/graphs/paper/index", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("build index: %d %s", resp.StatusCode, body)
+	}
+	var st struct {
+		Landmarks int  `json:"landmarks"`
+		Complete  bool `json:"complete"`
+		Fresh     bool `json:"fresh"`
+		Entries   int  `json:"entries"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Complete || !st.Fresh || st.Landmarks != 10 || st.Entries == 0 {
+		t.Fatalf("implausible index stats: %s", body)
+	}
+
+	// Bounded queries now route through the indexed plan.
+	resp, body = do(t, "POST", ts.URL+"/api/graphs/paper/query",
+		`{"dsl": "node SA [label = \"SA\", experience >= 5] output\nnode SD [label = \"SD\", experience >= 2]\nedge SA -> SD bound 2", "k": 1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Plan != string(engine.PlanIndexed) || qr.Source != string(engine.SourceIndexed) {
+		t.Fatalf("plan/source = %s/%s, want indexed", qr.Plan, qr.Source)
+	}
+
+	// Graph stats embed the index stats.
+	resp, body = do(t, "GET", ts.URL+"/api/graphs/paper/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("graph stats: %d", resp.StatusCode)
+	}
+	var gs map[string]any
+	if err := json.Unmarshal(body, &gs); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := gs["index"]; !ok {
+		t.Fatalf("graph stats missing index block: %s", body)
+	}
+
+	// Partial build replaces the index.
+	resp, body = do(t, "POST", ts.URL+"/api/graphs/paper/index", `{"landmarks": 3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("partial build: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Complete || st.Landmarks != 3 {
+		t.Fatalf("partial index stats: %s", body)
+	}
+
+	// Drop; stats 404 again; double drop 404.
+	resp, _ = do(t, "DELETE", ts.URL+"/api/graphs/paper/index", nil)
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("drop: %d", resp.StatusCode)
+	}
+	resp, _ = do(t, "GET", ts.URL+"/api/graphs/paper/index", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stats after drop: %d", resp.StatusCode)
+	}
+	resp, _ = do(t, "DELETE", ts.URL+"/api/graphs/paper/index", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double drop: %d", resp.StatusCode)
+	}
+
+	// Unknown graph: 404.
+	resp, _ = do(t, "POST", ts.URL+"/api/graphs/nope/index", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("build on unknown graph: %d", resp.StatusCode)
+	}
+}
+
+func TestIndexSurvivesUpdateFlow(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+	if resp, body := do(t, "POST", ts.URL+"/api/graphs/paper/index", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("build: %d %s", resp.StatusCode, body)
+	}
+	// Insertions are repaired in place: the index stays fresh.
+	resp, body := do(t, "POST", ts.URL+"/api/graphs/paper/updates",
+		`{"ops": [{"op": "insert", "from": 7, "to": 6}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("updates: %d %s", resp.StatusCode, body)
+	}
+	var st struct {
+		Fresh bool `json:"fresh"`
+		Stale bool `json:"stale"`
+	}
+	_, body = do(t, "GET", ts.URL+"/api/graphs/paper/index", nil)
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Fresh {
+		t.Fatalf("index stale after insert: %s", body)
+	}
+	// Deletions invalidate it.
+	if resp, body := do(t, "POST", ts.URL+"/api/graphs/paper/updates",
+		`{"ops": [{"op": "delete", "from": 7, "to": 6}]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete updates: %d %s", resp.StatusCode, body)
+	}
+	_, body = do(t, "GET", ts.URL+"/api/graphs/paper/index", nil)
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Fresh || !st.Stale {
+		t.Fatalf("index should be stale after delete: %s", body)
+	}
+}
+
+func TestQueryDualSemanticsIndexed(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+
+	dualReq := `{"dsl": "node SD [label = \"SD\"] output\nnode BA [label = \"BA\"]\nedge SD -> BA bound 2", "semantics": "dual", "k": 3}`
+	resp, body := do(t, "POST", ts.URL+"/api/graphs/paper/query", dualReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dual query: %d %s", resp.StatusCode, body)
+	}
+	var direct queryResponse
+	if err := json.Unmarshal(body, &direct); err != nil {
+		t.Fatal(err)
+	}
+	if resp, body := do(t, "POST", ts.URL+"/api/graphs/paper/index", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("build: %d %s", resp.StatusCode, body)
+	}
+	resp, body = do(t, "POST", ts.URL+"/api/graphs/paper/query", dualReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("indexed dual query: %d %s", resp.StatusCode, body)
+	}
+	var indexed queryResponse
+	if err := json.Unmarshal(body, &indexed); err != nil {
+		t.Fatal(err)
+	}
+	if indexed.Source != string(engine.SourceIndexed) {
+		t.Fatalf("dual source = %s, want indexed", indexed.Source)
+	}
+	if fmt.Sprintf("%v", indexed.Matches) != fmt.Sprintf("%v", direct.Matches) ||
+		fmt.Sprintf("%v", indexed.TopK) != fmt.Sprintf("%v", direct.TopK) {
+		t.Fatalf("indexed dual answer differs:\n%v\nvs\n%v", indexed, direct)
+	}
+}
