@@ -22,6 +22,15 @@
 //	POST   /api/graphs/{name}/nodes/{id}/attrs   {"experience": {"kind":"int","i":9}}
 //	POST   /api/graphs/{name}/compress      {"scheme": "bisimulation", "view": ["experience"]}
 //	DELETE /api/graphs/{name}/compress      drop compression
+//	POST   /api/graphs/{name}/index         build landmark distance index ({"landmarks": k})
+//	GET    /api/graphs/{name}/index         index stats
+//	DELETE /api/graphs/{name}/index         drop index
+//	POST   /api/query/batch                 {"queries": [{"graph": ..., "dsl": ..., "k": 5}, ...]}
+//	POST   /api/graphs/{name}/subscriptions      register a continuous query ({"dsl": ..., "k": 5})
+//	GET    /api/graphs/{name}/subscriptions      list subscriptions
+//	DELETE /api/graphs/{name}/subscriptions/{id} cancel a subscription
+//	GET    /api/graphs/{name}/subscriptions/{id}/events  SSE stream of snapshot + match deltas
+//	GET    /api/subscriptions/stats         subscription-hub counters
 //	GET    /api/cache/stats                 result-cache counters
 package main
 

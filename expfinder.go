@@ -35,8 +35,10 @@
 //
 // Beyond one-shot queries, the engine supports the full ExpFinder system:
 // registered queries maintained incrementally under edge updates
-// (RegisterQuery / ApplyUpdates), query-preserving graph compression
-// (CompressGraph), a result cache, file-based graph storage, synthetic
+// (RegisterQuery / ApplyUpdates), continuous queries streaming match
+// deltas to subscribers (Engine.Subscribe / PushUpdates), query-preserving
+// graph compression (CompressGraph), a landmark distance index
+// (BuildIndex), a result cache, file-based graph storage, synthetic
 // social-network generators, and an HTTP server (cmd/expfinder-server)
 // standing in for the demo's GUI.
 package expfinder
@@ -58,6 +60,7 @@ import (
 	"expfinder/internal/simulation"
 	"expfinder/internal/storage"
 	"expfinder/internal/strongsim"
+	"expfinder/internal/subscribe"
 )
 
 // Graph model.
@@ -266,6 +269,49 @@ type (
 	// IncrementalMatcher maintains one query's matches under edge updates.
 	IncrementalMatcher = incremental.Matcher
 )
+
+// Continuous queries: register a pattern once with Engine.Subscribe and
+// receive the match deltas — pairs entering and leaving M(Q,G), and
+// optionally re-ranked top-K experts — as updates stream into the graph.
+// A subscription's first event is a snapshot; folding the event sequence
+// through a SubscriptionMirror reconstructs the exact relation a fresh
+// Match would compute, no matter how updates interleave (property-tested).
+// Slow consumers never stall updates: bounded buffers coalesce bursts and
+// degrade to a resync snapshot on overflow.
+type (
+	// Subscription is one client's handle on a continuous query; consume
+	// with Next (blocking) or Poll.
+	Subscription = subscribe.Subscription
+	// SubscriptionOptions sets per-subscription ranking (K), buffering,
+	// and coalescing.
+	SubscriptionOptions = subscribe.Options
+	// SubscriptionEvent is one snapshot or delta notification.
+	SubscriptionEvent = subscribe.Event
+	// SubscriptionInfo is a subscription's observable state.
+	SubscriptionInfo = subscribe.Info
+	// SubscriptionStats aggregates the engine's subscription counters.
+	SubscriptionStats = subscribe.Stats
+	// SubscriptionMirror materializes an event stream back into the
+	// current match relation.
+	SubscriptionMirror = subscribe.Mirror
+)
+
+// Subscription event kinds.
+const (
+	// EventSnapshot events carry the full current relation.
+	EventSnapshot = subscribe.Snapshot
+	// EventDelta events carry added and removed match pairs.
+	EventDelta = subscribe.Delta
+)
+
+// ErrSubscriptionClosed terminates Next once a subscription is closed
+// and drained; subscriptions on a removed graph end with
+// subscribe.ErrGraphRemoved instead.
+var ErrSubscriptionClosed = subscribe.ErrClosed
+
+// NewSubscriptionMirror returns a mirror for patterns with n nodes
+// (q.NumNodes() for the subscribed query).
+func NewSubscriptionMirror(n int) *SubscriptionMirror { return subscribe.NewMirror(n) }
 
 // NewIncrementalMatcher computes M(Q,G) and registers for maintenance. The
 // matcher owns subsequent edge updates to g (use Apply).

@@ -252,3 +252,69 @@ func TestQueryDSLRoundTripThroughFacade(t *testing.T) {
 		t.Errorf("DSL rendering lost the unbounded edge:\n%s", q.String())
 	}
 }
+
+func TestPublicSubscriptions(t *testing.T) {
+	g, ids := buildPaperNetwork(t)
+	q, err := expfinder.ParseQuery(dataset.PaperQueryDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := expfinder.NewEngine(expfinder.EngineOptions{})
+	if err := eng.AddGraph("team", g); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := eng.Subscribe("team", q, expfinder.SubscriptionOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mirror := expfinder.NewSubscriptionMirror(q.NumNodes())
+
+	// Snapshot first: the paper's 7-pair relation, Bob the top expert.
+	ev, ok := sub.Poll()
+	if !ok || ev.Kind != expfinder.EventSnapshot {
+		t.Fatalf("first event = %+v ok=%v, want snapshot", ev, ok)
+	}
+	if err := mirror.Apply(ev); err != nil {
+		t.Fatal(err)
+	}
+	if got := mirror.Relation().Size(); got != 7 {
+		t.Fatalf("snapshot pairs = %d, want 7", got)
+	}
+	if len(ev.TopK) == 0 || ev.TopK[0].Node != ids["Bob"] {
+		t.Fatalf("top expert = %+v, want Bob", ev.TopK)
+	}
+
+	// Example 3's insertion streams exactly +(SD, Fred).
+	if _, notified, err := eng.PushUpdates("team", []expfinder.Update{
+		expfinder.InsertEdge(ids["Fred"], ids["Pat"]),
+	}); err != nil || notified != 1 {
+		t.Fatalf("push: notified=%d err=%v", notified, err)
+	}
+	ev, ok = sub.Poll()
+	if !ok || ev.Kind != expfinder.EventDelta {
+		t.Fatalf("second event = %+v ok=%v, want delta", ev, ok)
+	}
+	if len(ev.Added) != 1 || ev.Added[0].Node != ids["Fred"] || len(ev.Removed) != 0 {
+		t.Fatalf("delta = %+v, want exactly +(SD, Fred)", ev)
+	}
+	if err := mirror.Apply(ev); err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	if err := eng.WithGraph("team", func(gg *expfinder.Graph) error {
+		want = expfinder.Match(gg, q).String()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if mirror.Relation().String() != want {
+		t.Fatalf("mirror diverged:\n got %s\nwant %s", mirror.Relation(), want)
+	}
+
+	if err := eng.Unsubscribe(sub.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Next(nil); err != expfinder.ErrSubscriptionClosed {
+		t.Fatalf("after unsubscribe: %v", err)
+	}
+}

@@ -19,6 +19,12 @@
 //  5. otherwise evaluate directly — with the quadratic simulation
 //     algorithm when every bound is 1, the cubic bounded-simulation
 //     algorithm otherwise ("optimized query plans").
+//
+// Beyond one-shot queries, the engine hosts continuous queries
+// (Subscribe): standing patterns whose match deltas stream to clients as
+// updates are applied, maintained through internal/subscribe by the same
+// per-graph mutation fan-out that keeps registered queries, compressed
+// views, and distance indexes consistent.
 package engine
 
 import (
@@ -42,6 +48,7 @@ import (
 	"expfinder/internal/rank"
 	"expfinder/internal/simulation"
 	"expfinder/internal/storage"
+	"expfinder/internal/subscribe"
 )
 
 // Engine errors.
@@ -116,6 +123,11 @@ type Engine struct {
 	inflight atomic.Int32
 	epochs   atomic.Uint64 // graph-registration counter, see managed.epoch
 
+	// hub is the continuous-query registry (see Subscribe): every graph
+	// mutation path fans match deltas out to its live subscriptions while
+	// holding the graph's lock.
+	hub *subscribe.Hub
+
 	// rgCache memoizes result graphs alongside the relation cache: a cache
 	// hit would otherwise pay the full result-graph reconstruction (one
 	// bounded BFS per match), which dominates repeat-query latency.
@@ -134,6 +146,7 @@ type Engine struct {
 type managed struct {
 	mu       sync.RWMutex
 	epoch    uint64
+	removed  bool // set under mu by RemoveGraph; Subscribe re-checks it
 	g        *graph.Graph
 	comp     *compress.Compressed            // optional
 	idx      *distindex.Index                // optional landmark distance index
@@ -179,6 +192,7 @@ func New(opts Options) *Engine {
 		par:       par,
 		cache:     cache.New(size),
 		gs:        map[string]*managed{},
+		hub:       subscribe.NewHub(),
 		sem:       make(chan struct{}, par),
 		rgCache:   map[cache.Key]*match.ResultGraph{},
 		rankCache: map[cache.Key][]rank.Ranked{},
@@ -269,11 +283,22 @@ func (e *Engine) AddGraph(name string, g *graph.Graph) error {
 // RemoveGraph drops a graph and everything attached to it.
 func (e *Engine) RemoveGraph(name string) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.gs[name]; !ok {
+	mg, ok := e.gs[name]
+	if !ok {
+		e.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNoGraph, name)
 	}
 	delete(e.gs, name)
+	e.mu.Unlock()
+	// Close live subscriptions (buffered events stay readable) under the
+	// graph's write lock: a concurrent Subscribe that resolved the entry
+	// before the registry delete either registered already — and is
+	// closed here — or is still waiting for the lock and will see
+	// `removed`, so no orphan subscription can outlive the graph.
+	mg.mu.Lock()
+	mg.removed = true
+	e.hub.CloseGraph(name)
+	mg.mu.Unlock()
 	// Purge caches for memory hygiene. Correctness does not depend on
 	// this: keys carry the managed epoch, so entries a still-in-flight
 	// query re-inserts after this purge can never serve a graph later
@@ -527,12 +552,19 @@ type Delta struct {
 }
 
 // ApplyUpdates applies edge updates to the named graph, repairs every
-// registered query incrementally, and maintains the compressed graph if
-// present. It returns per-registered-query deltas.
+// registered query incrementally, maintains the compressed graph if
+// present, and fans match deltas out to live subscriptions. It returns
+// per-registered-query deltas; PushUpdates additionally reports the
+// subscription fan-out count.
 func (e *Engine) ApplyUpdates(graphName string, ops []incremental.Update) ([]Delta, error) {
+	deltas, _, err := e.applyUpdates(graphName, ops)
+	return deltas, err
+}
+
+func (e *Engine) applyUpdates(graphName string, ops []incremental.Update) ([]Delta, int, error) {
 	mg, err := e.lookup(graphName)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	mg.mu.Lock()
 	defer mg.mu.Unlock()
@@ -560,14 +592,14 @@ func (e *Engine) ApplyUpdates(graphName string, ops []incremental.Update) ([]Del
 			if mg.idx != nil {
 				mg.idx.RefreshVersion()
 			}
-			return nil, fmt.Errorf("engine: apply op %d: %w", i, err)
+			return nil, 0, fmt.Errorf("engine: apply op %d: %w", i, err)
 		}
 	}
 	var deltas []Delta
 	for h, m := range mg.matchers {
 		added, removed, err := m.Sync(ops)
 		if err != nil {
-			return nil, fmt.Errorf("engine: sync matcher %s: %w", h[:8], err)
+			return nil, 0, fmt.Errorf("engine: sync matcher %s: %w", h[:8], err)
 		}
 		deltas = append(deltas, Delta{PatternHash: h, Added: added, Removed: removed})
 	}
@@ -578,7 +610,7 @@ func (e *Engine) ApplyUpdates(graphName string, ops []incremental.Update) ([]Del
 			cops[i] = compress.Update{Insert: op.Insert, From: op.From, To: op.To}
 		}
 		if err := mg.comp.Sync(cops); err != nil {
-			return nil, fmt.Errorf("engine: sync compressed graph: %w", err)
+			return nil, 0, fmt.Errorf("engine: sync compressed graph: %w", err)
 		}
 	}
 	if mg.idx != nil {
@@ -588,7 +620,11 @@ func (e *Engine) ApplyUpdates(graphName string, ops []incremental.Update) ([]Del
 		}
 		mg.idx.Sync(iops)
 	}
-	return deltas, nil
+	// Fan out to live subscriptions last, so their deltas reflect the
+	// same post-update graph every other consumer settled on (dirty
+	// standing queries recompute here — the lazy invalidation path).
+	notified := e.hub.HandleUpdates(graphName, mg.g, ops)
+	return deltas, notified, nil
 }
 
 // AddNode inserts a node into a managed graph, keeping registered queries
@@ -612,6 +648,7 @@ func (e *Engine) AddNode(graphName, label string, attrs graph.Attrs) (graph.Node
 	if mg.idx != nil {
 		mg.idx.SyncNodeAdded(id)
 	}
+	e.hub.HandleNodeAdded(graphName, mg.g, id)
 	return id, nil
 }
 
@@ -633,6 +670,10 @@ func (e *Engine) RemoveNode(graphName string, id graph.NodeID) error {
 	if mg.idx != nil {
 		mg.idx.Invalidate()
 	}
+	// Standing queries cannot repair through a disappearing node either:
+	// mark them dirty and let the next update batch, flush, or subscribe
+	// pay one full recompute for any burst of removals.
+	e.hub.Invalidate(graphName)
 	// Phase 1: detach incident edges through the ordinary edge-update
 	// path, so cascades run while the graph is still consistent.
 	var ops []incremental.Update
@@ -712,6 +753,8 @@ func (e *Engine) SetNodeAttr(graphName string, id graph.NodeID, key string, v gr
 		// Attributes do not affect distances; just follow the version.
 		mg.idx.SyncAttrChanged(id)
 	}
+	// Standing queries take the lazy-recompute path (see RemoveNode).
+	e.hub.Invalidate(graphName)
 	return nil
 }
 

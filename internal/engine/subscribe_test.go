@@ -1,0 +1,284 @@
+package engine
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"expfinder/internal/bsim"
+	"expfinder/internal/dataset"
+	"expfinder/internal/graph"
+	"expfinder/internal/incremental"
+	"expfinder/internal/subscribe"
+	"expfinder/internal/testutil"
+)
+
+func drainSub(t *testing.T, s *subscribe.Subscription, mi *subscribe.Mirror) {
+	t.Helper()
+	for {
+		ev, ok := s.Poll()
+		if !ok {
+			return
+		}
+		if err := mi.Apply(ev); err != nil {
+			t.Fatalf("apply event: %v", err)
+		}
+	}
+}
+
+func TestSubscribeSnapshotAndPushUpdates(t *testing.T) {
+	g, p := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	e := New(Options{})
+	if err := e.AddGraph("g", g); err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Subscribe("g", q, subscribe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := subscribe.NewMirror(q.NumNodes())
+	drainSub(t, s, mi)
+	res, err := e.Query("g", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.Relation().String() != res.Relation.String() {
+		t.Fatalf("snapshot != Query relation:\n got %v\nwant %v", mi.Relation(), res.Relation)
+	}
+
+	e1 := dataset.E1(p)
+	deltas, notified, err := e.PushUpdates("g", []incremental.Update{incremental.Insert(e1.From, e1.To)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notified != 1 {
+		t.Fatalf("notified = %d, want 1", notified)
+	}
+	_ = deltas // no registered queries; subscription deltas flow via the hub
+	drainSub(t, s, mi)
+	res, err = e.Query("g", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.Relation().String() != res.Relation.String() {
+		t.Fatalf("after push:\n got %v\nwant %v", mi.Relation(), res.Relation)
+	}
+}
+
+func TestSubscriptionListAndUnsubscribe(t *testing.T) {
+	g, _ := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	e := New(Options{})
+	if err := e.AddGraph("g", g); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := e.Subscribe("g", q, subscribe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := e.Subscribe("g", q, subscribe.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := e.Subscriptions("g")
+	if len(infos) != 2 || infos[0].ID != s1.ID() || infos[1].ID != s2.ID() {
+		t.Fatalf("listing = %+v", infos)
+	}
+	if got, err := e.Subscription(s1.ID()); err != nil || got != s1 {
+		t.Fatalf("Subscription(%s) = %v, %v", s1.ID(), got, err)
+	}
+	if st := e.SubscriptionStats(); st.Subscriptions != 2 || st.Groups != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := e.Unsubscribe(s1.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Unsubscribe(s1.ID()); !errors.Is(err, subscribe.ErrNoSubscription) {
+		t.Fatalf("double unsubscribe: %v", err)
+	}
+	if infos := e.Subscriptions(""); len(infos) != 1 {
+		t.Fatalf("listing after unsubscribe = %+v", infos)
+	}
+}
+
+func TestSubscribeUnknownGraph(t *testing.T) {
+	e := New(Options{})
+	if _, err := e.Subscribe("nope", dataset.PaperQuery(), subscribe.Options{}); !errors.Is(err, ErrNoGraph) {
+		t.Fatalf("want ErrNoGraph, got %v", err)
+	}
+	if _, err := e.FlushSubscriptions("nope"); !errors.Is(err, ErrNoGraph) {
+		t.Fatalf("flush: want ErrNoGraph, got %v", err)
+	}
+}
+
+func TestRemoveGraphClosesSubscriptions(t *testing.T) {
+	g, _ := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	e := New(Options{})
+	if err := e.AddGraph("g", g); err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Subscribe("g", q, subscribe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RemoveGraph("g"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Poll(); !ok { // buffered snapshot survives
+		t.Fatal("snapshot lost on graph removal")
+	}
+	if _, err := s.Next(nil); !errors.Is(err, subscribe.ErrGraphRemoved) {
+		t.Fatalf("want ErrGraphRemoved, got %v", err)
+	}
+	if len(e.Subscriptions("")) != 0 {
+		t.Fatal("subscriptions survived graph removal")
+	}
+}
+
+// TestSubscriptionCoexistsWithRegisteredQuery pins that the hub's
+// matchers are independent of RegisterQuery's: both paths see the same
+// deltas without double-syncing.
+func TestSubscriptionCoexistsWithRegisteredQuery(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	g := testutil.RandomGraph(r, 60, 240)
+	q := testutil.RandomPattern(r, 3)
+	e := New(Options{})
+	if err := e.AddGraph("g", g.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterQuery("g", q); err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.Subscribe("g", q, subscribe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := subscribe.NewMirror(q.NumNodes())
+	scratch := g.Clone()
+	for round := 0; round < 10; round++ {
+		ops := engineRandomOps(r, scratch, 5)
+		if _, err := e.ApplyUpdates("g", ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainSub(t, s, mi)
+	res, err := e.Query("g", q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceIncremental && res.Source != SourceCache {
+		t.Fatalf("registered query not served incrementally: %v", res.Source)
+	}
+	if mi.Relation().String() != res.Relation.String() {
+		t.Fatalf("subscription diverged from registered query:\n got %v\nwant %v",
+			mi.Relation(), res.Relation)
+	}
+}
+
+func engineRandomOps(r *rand.Rand, scratch *graph.Graph, nOps int) []incremental.Update {
+	nodes := scratch.Nodes()
+	var ops []incremental.Update
+	for len(ops) < nOps {
+		u := nodes[r.Intn(len(nodes))]
+		v := nodes[r.Intn(len(nodes))]
+		if u == v {
+			continue
+		}
+		if scratch.HasEdge(u, v) {
+			if scratch.RemoveEdge(u, v) == nil {
+				ops = append(ops, incremental.Delete(u, v))
+			}
+		} else if scratch.AddEdge(u, v) == nil {
+			ops = append(ops, incremental.Insert(u, v))
+		}
+	}
+	return ops
+}
+
+// TestQuickSubscriptionStreamEqualsMatch is the acceptance property: a
+// subscription fed a randomized update stream — edge churn through
+// PushUpdates, node additions, node removals and attribute changes
+// through the engine's invalidating paths — ends with a mirrored
+// relation byte-identical to a fresh Match (bsim.Compute) on the final
+// graph.
+func TestQuickSubscriptionStreamEqualsMatch(t *testing.T) {
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(9000 + trial)))
+		g := testutil.RandomGraph(r, 40+r.Intn(40), 150+r.Intn(120))
+		q := testutil.RandomPattern(r, 2+r.Intn(3))
+		e := New(Options{})
+		if err := e.AddGraph("g", g); err != nil {
+			t.Fatal(err)
+		}
+		s, err := e.Subscribe("g", q, subscribe.Options{Buffer: 1 + r.Intn(4)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mi := subscribe.NewMirror(q.NumNodes())
+		for round := 0; round < 12; round++ {
+			switch r.Intn(6) {
+			case 0: // node insertion
+				if _, err := e.AddNode("g", testutil.Labels[r.Intn(len(testutil.Labels))],
+					graph.Attrs{"experience": graph.Int(int64(r.Intn(10)))}); err != nil {
+					t.Fatal(err)
+				}
+			case 1: // node removal (invalidates standing queries)
+				var mgG *graph.Graph
+				if err := e.WithGraph("g", func(gg *graph.Graph) error { mgG = gg; return nil }); err != nil {
+					t.Fatal(err)
+				}
+				nodes := mgG.Nodes()
+				if len(nodes) > 10 {
+					if err := e.RemoveNode("g", nodes[r.Intn(len(nodes))]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 2: // attribute change (invalidates standing queries)
+				var mgG *graph.Graph
+				if err := e.WithGraph("g", func(gg *graph.Graph) error { mgG = gg; return nil }); err != nil {
+					t.Fatal(err)
+				}
+				nodes := mgG.Nodes()
+				id := nodes[r.Intn(len(nodes))]
+				if err := e.SetNodeAttr("g", id, "experience", graph.Int(int64(r.Intn(10)))); err != nil {
+					t.Fatal(err)
+				}
+			default: // edge churn
+				var ops []incremental.Update
+				if err := e.WithGraph("g", func(gg *graph.Graph) error {
+					ops = engineRandomOps(r, gg.Clone(), 1+r.Intn(5))
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if _, _, err := e.PushUpdates("g", ops); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if r.Intn(3) == 0 {
+				drainSub(t, s, mi)
+			}
+		}
+		if _, err := e.FlushSubscriptions("g"); err != nil {
+			t.Fatal(err)
+		}
+		drainSub(t, s, mi)
+		var want string
+		if err := e.WithGraph("g", func(gg *graph.Graph) error {
+			want = bsim.Compute(gg, q).String()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got := mi.Relation().String(); got != want {
+			t.Fatalf("trial %d: streamed relation diverged\n got %s\nwant %s\npattern %v",
+				trial, got, want, q)
+		}
+	}
+}

@@ -3,7 +3,9 @@
 // an endpoint: managing data graphs (Graph Editor), constructing and
 // running pattern queries (Pattern Builder), browsing result graphs and
 // top-K experts (match views, via DOT export), applying updates (dynamic
-// graphs), and compressing graphs (Graph Compressor).
+// graphs), and compressing graphs (Graph Compressor). On top of the GUI
+// surface, continuous queries are exposed as subscription resources
+// whose match deltas stream over Server-Sent Events (see subscribe.go).
 package server
 
 import (
@@ -54,6 +56,11 @@ func New(eng *engine.Engine) *Server {
 	s.mux.HandleFunc("GET /api/graphs/{name}/index", s.indexStats)
 	s.mux.HandleFunc("DELETE /api/graphs/{name}/index", s.dropIndex)
 	s.mux.HandleFunc("POST /api/graphs/{name}/register", s.registerQuery)
+	s.mux.HandleFunc("POST /api/graphs/{name}/subscriptions", s.createSubscription)
+	s.mux.HandleFunc("GET /api/graphs/{name}/subscriptions", s.listSubscriptions)
+	s.mux.HandleFunc("DELETE /api/graphs/{name}/subscriptions/{id}", s.deleteSubscription)
+	s.mux.HandleFunc("GET /api/graphs/{name}/subscriptions/{id}/events", s.streamEvents)
+	s.mux.HandleFunc("GET /api/subscriptions/stats", s.subscriptionStats)
 	s.mux.HandleFunc("GET /api/cache/stats", s.cacheStats)
 	return s
 }
@@ -516,7 +523,7 @@ func (s *Server) applyUpdates(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	deltas, err := s.eng.ApplyUpdates(name, ops)
+	deltas, notified, err := s.eng.PushUpdates(name, ops)
 	if err != nil {
 		writeErr(w, statusFor(err), err)
 		return
@@ -530,7 +537,11 @@ func (s *Server) applyUpdates(w http.ResponseWriter, r *http.Request) {
 	for _, d := range deltas {
 		out = append(out, deltaBody{PatternHash: d.PatternHash, Added: len(d.Added), Removed: len(d.Removed)})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"applied": len(ops), "deltas": out})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"applied": len(ops), "deltas": out,
+		// How many live subscriptions were handed a match delta.
+		"notified": notified,
+	})
 }
 
 // addNodeRequest creates one node.
@@ -570,7 +581,8 @@ func (s *Server) removeNode(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.eng.RemoveNode(r.PathValue("name"), id); err != nil {
+	name := r.PathValue("name")
+	if err := s.eng.RemoveNode(name, id); err != nil {
 		status := statusFor(err)
 		if errors.Is(err, graph.ErrNoNode) {
 			status = http.StatusNotFound
@@ -578,6 +590,10 @@ func (s *Server) removeNode(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, status, err)
 		return
 	}
+	// Node removals invalidate standing queries lazily; flush here so
+	// subscribers streaming events see the delta now rather than at the
+	// next edge-update batch.
+	_, _ = s.eng.FlushSubscriptions(name)
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -603,6 +619,8 @@ func (s *Server) setNodeAttrs(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// One flush after the whole attribute batch (see removeNode).
+	_, _ = s.eng.FlushSubscriptions(name)
 	w.WriteHeader(http.StatusNoContent)
 }
 
