@@ -6,10 +6,11 @@
 //
 // Usage:
 //
-//	benchrunner [-exp e1|...|e7|a1|a2|a3|a4|all] [-scale small|full] [-seed N]
+//	benchrunner [-exp e1|...|e7|a1|a2|a3|a4|a5|all] [-scale small|full] [-seed N]
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -33,12 +34,14 @@ import (
 	"expfinder/internal/pattern"
 	"expfinder/internal/rank"
 	"expfinder/internal/simulation"
+	"expfinder/internal/storage"
 	"expfinder/internal/strongsim"
 	"expfinder/internal/subscribe"
+	"expfinder/internal/wal"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: e1..e7, a1..a4, or all")
+	exp := flag.String("exp", "all", "experiment id: e1..e7, a1..a5, or all")
 	scale := flag.String("scale", "small", "small (fast) or full sweeps")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
@@ -47,9 +50,9 @@ func main() {
 	runners := map[string]func(bool, int64){
 		"e1": runE1, "e2": runE2, "e3": runE3, "e4": runE4,
 		"e5": runE5, "e6": runE6, "e7": runE7,
-		"a1": runA1, "a2": runA2, "a3": runA3, "a4": runA4,
+		"a1": runA1, "a2": runA2, "a3": runA3, "a4": runA4, "a5": runA5,
 	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "a1", "a2", "a3", "a4"}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "a1", "a2", "a3", "a4", "a5"}
 	if *exp == "all" {
 		for _, id := range order {
 			runners[id](full, *seed)
@@ -737,4 +740,121 @@ func drainSub(s *subscribe.Subscription, mi *subscribe.Mirror) {
 			panic(err)
 		}
 	}
+}
+
+// engineImage serializes a managed graph through the exact-image codec —
+// the byte-level identity the durability contract is stated in.
+func engineImage(eng *engine.Engine, name string) []byte {
+	var buf bytes.Buffer
+	if err := eng.WithGraph(name, func(g *graph.Graph) error {
+		return storage.WriteGraphImage(&buf, g)
+	}); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// runA5 sweeps the durable persistence subsystem (ISSUE 4): the same
+// update-ingest workload pushed through engine.ApplyUpdates with
+// durability disabled and with the write-ahead log under each fsync
+// policy, against the 100k-edge generator graph at full scale. Every arm
+// must end byte-identical (image codec, version included), and each
+// durable arm is recovered into a fresh engine and re-verified — the
+// bench doubles as an end-to-end recovery check.
+func runA5(full bool, seed int64) {
+	fmt.Println("=== A5: durable ingest — WAL fsync policies vs in-memory ===")
+	n, rounds, batch := 5000, 40, 50
+	if full {
+		// ~100k collaboration edges, the ISSUE 1 baseline.
+		n, rounds, batch = 39000, 80, 200
+	}
+	base := collab(n, seed)
+	fmt.Printf("collab graph n=%d (%d edges), %d rounds x %d edge updates\n",
+		base.NumNodes(), base.NumEdges(), rounds, batch)
+
+	// One feasible update stream shared by every arm.
+	opsSrc := base.Clone()
+	r := rand.New(rand.NewSource(seed + 31))
+	stream := make([][]incremental.Update, rounds)
+	for i := range stream {
+		stream[i] = randomOps(r, opsSrc, batch)
+	}
+	totalOps := rounds * batch
+
+	type arm struct {
+		name    string
+		durable bool
+		policy  wal.FsyncPolicy
+	}
+	arms := []arm{
+		{"memory", false, 0},
+		{"wal-off", true, wal.FsyncOff},
+		{"wal-interval", true, wal.FsyncInterval},
+		{"wal-always", true, wal.FsyncAlways},
+	}
+
+	var refImage []byte
+	var baseline time.Duration
+	fmt.Printf("%14s %15s %12s %10s %10s\n", "durability", "ingest time", "updates/s", "overhead", "recovered")
+	for _, a := range arms {
+		var dir string
+		opts := engine.Options{}
+		if a.durable {
+			var err error
+			dir, err = os.MkdirTemp("", "expfinder-a5-*")
+			if err != nil {
+				panic(err)
+			}
+			m, err := wal.Open(wal.Options{Dir: dir, Fsync: a.policy})
+			if err != nil {
+				panic(err)
+			}
+			opts.Persistence = m
+		}
+		eng := engine.New(opts)
+		if err := eng.AddGraph("g", base.Clone()); err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		for _, ops := range stream {
+			if _, err := eng.ApplyUpdates("g", ops); err != nil {
+				panic(err)
+			}
+		}
+		d := time.Since(start)
+		image := engineImage(eng, "g")
+		// Correctness gate: every durability level must produce the same
+		// final graph, byte for byte (checksummed image, version included).
+		if refImage == nil {
+			refImage, baseline = image, d
+		} else if !bytes.Equal(image, refImage) {
+			panic(a.name + ": final graph image diverged from the in-memory arm")
+		}
+		recovered := "-"
+		if a.durable {
+			if err := eng.Close(); err != nil {
+				panic(err)
+			}
+			m2, err := wal.Open(wal.Options{Dir: dir})
+			if err != nil {
+				panic(err)
+			}
+			eng2 := engine.New(engine.Options{Persistence: m2})
+			if _, err := eng2.Recover(); err != nil {
+				panic(err)
+			}
+			if !bytes.Equal(engineImage(eng2, "g"), refImage) {
+				panic(a.name + ": recovered graph image diverged")
+			}
+			if err := eng2.Close(); err != nil {
+				panic(err)
+			}
+			recovered = "ok"
+			os.RemoveAll(dir)
+		}
+		fmt.Printf("%14s %15s %12.0f %9.2fx %10s\n",
+			a.name, d, float64(totalOps)/d.Seconds(), float64(d)/float64(baseline), recovered)
+	}
+	fmt.Println("final graph images byte-identical across all arms; durable arms recovered and re-verified (enforced)")
+	fmt.Println("shape check: fsync=off rides close to memory, always pays one sync per batch, interval sits between.")
 }

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	expfinder-server [-addr :8080] [-store DIR] [-demo]
+//	                 [-data-dir DIR] [-fsync always|interval|off]
+//
+// With -data-dir set, every graph mutation is durable: mutations append
+// to a per-graph write-ahead log under DIR, a background checkpointer
+// snapshots growing logs, and at boot the server recovers every
+// persisted graph — content, node ids, and version — before serving.
+// -fsync selects the durability/throughput trade-off (default interval).
 //
 // API overview:
 //
@@ -32,6 +39,8 @@
 //	GET    /api/graphs/{name}/subscriptions/{id}/events  SSE stream of snapshot + match deltas
 //	GET    /api/subscriptions/stats         subscription-hub counters
 //	GET    /api/cache/stats                 result-cache counters
+//	GET    /api/admin/persistence           durability stats (WAL sizes, snapshots)
+//	POST   /api/admin/persistence/checkpoint  force a checkpoint ({"graph": ...} or all)
 package main
 
 import (
@@ -50,6 +59,7 @@ import (
 	"expfinder/internal/dataset"
 	"expfinder/internal/engine"
 	"expfinder/internal/server"
+	"expfinder/internal/wal"
 )
 
 func main() {
@@ -58,16 +68,64 @@ func main() {
 	demo := flag.Bool("demo", true, "preload the paper's Fig. 1 dataset as graph \"paper\"")
 	cacheSize := flag.Int("cache", 256, "result cache capacity")
 	parallelism := flag.Int("parallelism", 0, "max concurrent query executions (0 = GOMAXPROCS)")
+	dataDir := flag.String("data-dir", "", "enable durable persistence (per-graph WAL + snapshots) rooted here")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy: always | interval | off")
 	flag.Parse()
 
-	eng := engine.New(engine.Options{CacheSize: *cacheSize, Parallelism: *parallelism})
+	opts := engine.Options{CacheSize: *cacheSize, Parallelism: *parallelism}
+	if *dataDir != "" {
+		policy, err := wal.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := wal.Open(wal.Options{Dir: *dataDir, Fsync: policy})
+		if err != nil {
+			log.Fatalf("open data dir: %v", err)
+		}
+		opts.Persistence = m
+	}
+	eng := engine.New(opts)
+
+	if opts.Persistence != nil {
+		sum, err := eng.Recover()
+		if err != nil {
+			log.Fatalf("recover: %v", err)
+		}
+		for _, gr := range sum.Graphs {
+			if gr.Err != "" {
+				log.Printf("recover %q FAILED: %s (files left for inspection)", gr.Name, gr.Err)
+				continue
+			}
+			extra := ""
+			if gr.TornTail {
+				extra += ", torn tail dropped"
+			}
+			if gr.IndexRebuilt {
+				extra += ", index rebuilt"
+			}
+			if gr.IndexErr != "" {
+				extra += ", index rebuild failed: " + gr.IndexErr
+			}
+			log.Printf("recovered %q (%d nodes, %d edges, version %d, %d wal records%s)",
+				gr.Name, gr.Nodes, gr.Edges, gr.Version, gr.Records, extra)
+		}
+	}
 
 	if *demo {
 		g, _ := dataset.PaperGraph()
-		if err := eng.AddGraph("paper", g); err != nil {
+		switch err := eng.AddGraph("paper", g); {
+		case err == nil:
+			log.Printf("loaded demo graph %q (%d nodes, %d edges)", "paper", g.NumNodes(), g.NumEdges())
+		case errors.Is(err, engine.ErrGraphExists):
+			log.Printf("demo graph %q already present (recovered)", "paper")
+		case errors.Is(err, wal.ErrExists):
+			// Recovery failed for this name and left its files on disk; a
+			// fatal exit here would turn one damaged graph into a boot
+			// loop. Serve without the demo graph instead.
+			log.Printf("demo graph %q skipped: unrecovered persisted state on disk (%v)", "paper", err)
+		default:
 			log.Fatalf("preload demo graph: %v", err)
 		}
-		log.Printf("loaded demo graph %q (%d nodes, %d edges)", "paper", g.NumNodes(), g.NumEdges())
 	}
 	if *storeDir != "" {
 		store, err := expfinder.OpenStore(*storeDir)
@@ -98,9 +156,20 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// Serve until SIGINT/SIGTERM, then drain in-flight requests (each
-	// request carries a context the engine's executor respects) before
-	// exiting.
+	// Serve until SIGINT/SIGTERM, then shut down in two ordered stages:
+	//
+	//  1. Drain HTTP. In-flight requests finish (each carries a context
+	//     the engine's executor respects); SSE subscription streams that
+	//     outlive the 15s drain are cut by the forced Close. Either way,
+	//     subscriptions are in-memory client handles — a reconnecting
+	//     subscriber gets a fresh snapshot event via the protocol's
+	//     overflow→snapshot resync path, so nothing durable is lost with
+	//     them.
+	//  2. Close the engine. This stops the background checkpointer and
+	//     flushes+fsyncs every graph's WAL, so the final mutations the
+	//     drain admitted are durable before the process exits. Closing
+	//     in the other order would fail the durability hook of any
+	//     mutation still draining.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -123,6 +192,13 @@ func main() {
 			log.Printf("forced shutdown: %v", err)
 			_ = srv.Close()
 		}
+	}
+	if err := eng.Close(); err != nil {
+		log.Printf("persistence close: %v", err)
+		os.Exit(1)
+	}
+	if opts.Persistence != nil {
+		log.Printf("persistence flushed and closed (%s)", opts.Persistence.Dir())
 	}
 }
 

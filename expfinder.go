@@ -61,6 +61,7 @@ import (
 	"expfinder/internal/storage"
 	"expfinder/internal/strongsim"
 	"expfinder/internal/subscribe"
+	"expfinder/internal/wal"
 )
 
 // Graph model.
@@ -432,6 +433,41 @@ const (
 
 // OpenStore creates/opens a store rooted at dir.
 func OpenStore(dir string) (*Store, error) { return storage.Open(dir) }
+
+// Durable persistence: pass an open PersistenceManager as
+// EngineOptions.Persistence and every mutation of every managed graph
+// becomes durable — appended to a per-graph write-ahead log, snapshotted
+// by a background checkpointer, and replayed by Engine.Recover() at the
+// next boot. Call Engine.Close() on shutdown to flush the log.
+type (
+	// PersistenceManager owns the write-ahead logs and snapshots under
+	// one data directory.
+	PersistenceManager = wal.Manager
+	// PersistenceOptions configures OpenPersistence (directory, fsync
+	// policy, segment/checkpoint sizing).
+	PersistenceOptions = wal.Options
+	// FsyncPolicy selects when log records reach stable storage.
+	FsyncPolicy = wal.FsyncPolicy
+	// PersistenceStats aggregates log-manager counters and per-graph
+	// WAL/snapshot state.
+	PersistenceStats = wal.Stats
+	// RecoverySummary reports Engine.Recover's per-graph outcomes.
+	RecoverySummary = engine.RecoverySummary
+)
+
+// Fsync policies.
+const (
+	// FsyncAlways syncs after every mutation batch.
+	FsyncAlways = wal.FsyncAlways
+	// FsyncInterval (the default) syncs on a short ticker: bounded loss.
+	FsyncInterval = wal.FsyncInterval
+	// FsyncOff writes through to the OS but never syncs.
+	FsyncOff = wal.FsyncOff
+)
+
+// OpenPersistence opens (creating if needed) a durability manager rooted
+// at opts.Dir.
+func OpenPersistence(opts PersistenceOptions) (*PersistenceManager, error) { return wal.Open(opts) }
 
 // EdgeListOptions configures ImportEdgeList.
 type EdgeListOptions = storage.EdgeListOptions

@@ -49,6 +49,7 @@ import (
 	"expfinder/internal/simulation"
 	"expfinder/internal/storage"
 	"expfinder/internal/subscribe"
+	"expfinder/internal/wal"
 )
 
 // Engine errors.
@@ -98,6 +99,14 @@ type Options struct {
 	// and how many workers the bounded-simulation inner loop may fan out
 	// to. <= 0 means GOMAXPROCS. Results never depend on it.
 	Parallelism int
+	// Persistence, when set, makes every graph mutation durable: each
+	// mutation appends to the graph's write-ahead log under the graph's
+	// lock, a background checkpointer snapshots graphs whose logs have
+	// grown, and boot-time Recover() replays snapshot+WAL back into the
+	// engine. Call Close() on shutdown to flush the log, and Recover()
+	// before registering graphs whose state should come back. See
+	// internal/wal and docs/ARCHITECTURE.md ("Durability").
+	Persistence *wal.Manager
 }
 
 // Engine manages graphs and evaluates queries. Safe for concurrent use.
@@ -127,6 +136,11 @@ type Engine struct {
 	// mutation path fans match deltas out to its live subscriptions while
 	// holding the graph's lock.
 	hub *subscribe.Hub
+
+	// Background checkpointer lifecycle (persistence only; see persist.go).
+	persStop  chan struct{}
+	persWG    sync.WaitGroup
+	closeOnce sync.Once
 
 	// rgCache memoizes result graphs alongside the relation cache: a cache
 	// hit would otherwise pay the full result-graph reconstruction (one
@@ -187,7 +201,7 @@ func New(opts Options) *Engine {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{
+	e := &Engine{
 		opts:      opts,
 		par:       par,
 		cache:     cache.New(size),
@@ -197,6 +211,12 @@ func New(opts Options) *Engine {
 		rgCache:   map[cache.Key]*match.ResultGraph{},
 		rankCache: map[cache.Key][]rank.Ranked{},
 	}
+	if opts.Persistence != nil {
+		e.persStop = make(chan struct{})
+		e.persWG.Add(1)
+		go e.checkpointLoop()
+	}
+	return e
 }
 
 // Parallelism reports the engine's effective worker bound.
@@ -264,8 +284,37 @@ func (e *Engine) rankingFor(key cache.Key, rg *match.ResultGraph, q *pattern.Pat
 }
 
 // AddGraph registers a graph under a name. The engine owns the graph from
-// here on: all mutations must go through ApplyUpdates.
+// here on: all mutations must go through ApplyUpdates. With persistence
+// enabled the graph's log is created first (an initial snapshot for
+// non-empty graphs), so a name with leftover persisted state is rejected
+// until it is either recovered (Recover) or dropped (RemoveGraph).
 func (e *Engine) AddGraph(name string, g *graph.Graph) error {
+	e.mu.RLock()
+	_, taken := e.gs[name]
+	e.mu.RUnlock()
+	if taken {
+		return fmt.Errorf("%w: %q", ErrGraphExists, name)
+	}
+	if pers := e.opts.Persistence; pers != nil {
+		if err := pers.Create(name, g); err != nil {
+			return fmt.Errorf("engine: persist graph %q: %w", name, err)
+		}
+	}
+	if err := e.register(name, g); err != nil {
+		if pers := e.opts.Persistence; pers != nil {
+			// The log was freshly created above; dropping it cannot touch
+			// pre-existing state.
+			_ = pers.Drop(name)
+		}
+		return err
+	}
+	return nil
+}
+
+// register inserts a graph into the registry (the non-durable half of
+// AddGraph, also used by Recover, whose graphs are already attached to
+// the log manager).
+func (e *Engine) register(name string, g *graph.Graph) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.gs[name]; ok {
@@ -280,16 +329,42 @@ func (e *Engine) AddGraph(name string, g *graph.Graph) error {
 	return nil
 }
 
-// RemoveGraph drops a graph and everything attached to it.
+// RemoveGraph drops a graph and everything attached to it. The registry
+// delete is atomic with the existence check, and the persisted state is
+// dropped right after: the WAL directory itself serializes re-creation
+// (AddGraph's Create refuses while it exists), so the Drop can never hit
+// a newer graph's state. If the on-disk drop fails, the registration is
+// restored so the caller can retry — otherwise an undeletable log would
+// be stranded for the next Recover() to resurrect.
 func (e *Engine) RemoveGraph(name string) error {
 	e.mu.Lock()
 	mg, ok := e.gs[name]
 	if !ok {
 		e.mu.Unlock()
+		// Not registered — but a graph whose recovery failed leaves its
+		// files on disk with no registration. Removing it through the API
+		// must still work, or the name is wedged until someone deletes
+		// the directory by hand.
+		if pers := e.opts.Persistence; pers != nil && pers.HasState(name) {
+			if err := pers.Drop(name); err != nil {
+				return fmt.Errorf("engine: drop persisted state %q: %w", name, err)
+			}
+			return nil
+		}
 		return fmt.Errorf("%w: %q", ErrNoGraph, name)
 	}
 	delete(e.gs, name)
 	e.mu.Unlock()
+	if pers := e.opts.Persistence; pers != nil {
+		if err := pers.Drop(name); err != nil {
+			e.mu.Lock()
+			if _, taken := e.gs[name]; !taken {
+				e.gs[name] = mg
+			}
+			e.mu.Unlock()
+			return fmt.Errorf("engine: drop persisted state %q: %w", name, err)
+		}
+	}
 	// Close live subscriptions (buffered events stay readable) under the
 	// graph's write lock: a concurrent Subscribe that resolved the entry
 	// before the registry delete either registered already — and is
@@ -592,13 +667,46 @@ func (e *Engine) applyUpdates(graphName string, ops []incremental.Update) ([]Del
 			if mg.idx != nil {
 				mg.idx.RefreshVersion()
 			}
+			// Log the apply+rollback sequence as one record (best-effort —
+			// the apply error is the one the caller must see). The content
+			// is unchanged, but the rollback re-added edges by APPEND, so
+			// adjacency ORDER changed; replaying the same op sequence
+			// reproduces it exactly, keeping recovery byte-identical. A
+			// bare version record would not.
+			if pers := e.opts.Persistence; pers != nil && i > 0 {
+				rb := make([]wal.Update, 0, 2*i)
+				for j := 0; j < i; j++ {
+					rb = append(rb, wal.Update{Insert: ops[j].Insert, From: ops[j].From, To: ops[j].To})
+				}
+				for j := i - 1; j >= 0; j-- {
+					rb = append(rb, wal.Update{Insert: !ops[j].Insert, From: ops[j].From, To: ops[j].To})
+				}
+				_ = pers.LogUpdates(graphName, rb, mg.g.Version())
+			}
 			return nil, 0, fmt.Errorf("engine: apply op %d: %w", i, err)
 		}
+	}
+	// The graph is final from here on; logBatch makes it durable. It runs
+	// on every exit path past this point — including downstream sync
+	// errors, where the graph HAS changed and skipping the log would let
+	// the WAL silently diverge from live state (replay would then fail or,
+	// worse, reconstruct a different graph).
+	logBatch := func() error {
+		pers := e.opts.Persistence
+		if pers == nil || len(ops) == 0 {
+			return nil
+		}
+		wops := make([]wal.Update, len(ops))
+		for i, op := range ops {
+			wops[i] = wal.Update{Insert: op.Insert, From: op.From, To: op.To}
+		}
+		return pers.LogUpdates(graphName, wops, mg.g.Version())
 	}
 	var deltas []Delta
 	for h, m := range mg.matchers {
 		added, removed, err := m.Sync(ops)
 		if err != nil {
+			_ = logBatch()
 			return nil, 0, fmt.Errorf("engine: sync matcher %s: %w", h[:8], err)
 		}
 		deltas = append(deltas, Delta{PatternHash: h, Added: added, Removed: removed})
@@ -610,6 +718,7 @@ func (e *Engine) applyUpdates(graphName string, ops []incremental.Update) ([]Del
 			cops[i] = compress.Update{Insert: op.Insert, From: op.From, To: op.To}
 		}
 		if err := mg.comp.Sync(cops); err != nil {
+			_ = logBatch()
 			return nil, 0, fmt.Errorf("engine: sync compressed graph: %w", err)
 		}
 	}
@@ -624,6 +733,9 @@ func (e *Engine) applyUpdates(graphName string, ops []incremental.Update) ([]Del
 	// same post-update graph every other consumer settled on (dirty
 	// standing queries recompute here — the lazy invalidation path).
 	notified := e.hub.HandleUpdates(graphName, mg.g, ops)
+	if err := logBatch(); err != nil {
+		return deltas, notified, fmt.Errorf("engine: log updates: %w", err)
+	}
 	return deltas, notified, nil
 }
 
@@ -637,11 +749,21 @@ func (e *Engine) AddNode(graphName, label string, attrs graph.Attrs) (graph.Node
 	mg.mu.Lock()
 	defer mg.mu.Unlock()
 	id := mg.g.AddNode(label, attrs)
+	// The node exists from here on; log it on every exit path (see the
+	// logBatch comment in applyUpdates — an unlogged AddNode would shift
+	// every later replayed node id).
+	logNode := func() error {
+		if pers := e.opts.Persistence; pers != nil {
+			return pers.LogAddNode(graphName, label, attrs, mg.g.Version())
+		}
+		return nil
+	}
 	for _, m := range mg.matchers {
 		m.SyncNodeAdded(id)
 	}
 	if mg.comp != nil {
 		if err := mg.comp.SyncNodeAdded(id); err != nil {
+			_ = logNode()
 			return id, fmt.Errorf("engine: sync compressed graph: %w", err)
 		}
 	}
@@ -649,6 +771,9 @@ func (e *Engine) AddNode(graphName, label string, attrs graph.Attrs) (graph.Node
 		mg.idx.SyncNodeAdded(id)
 	}
 	e.hub.HandleNodeAdded(graphName, mg.g, id)
+	if err := logNode(); err != nil {
+		return id, fmt.Errorf("engine: log add node: %w", err)
+	}
 	return id, nil
 }
 
@@ -685,13 +810,32 @@ func (e *Engine) RemoveNode(graphName string, id graph.NodeID) error {
 			ops = append(ops, incremental.Delete(u, id))
 		}
 	}
+	// On any failure past the first edge removal, the graph HAS changed:
+	// log exactly the detach prefix that applied, so the WAL tracks live
+	// state even on the error paths (see the logBatch comment in
+	// applyUpdates).
+	detached := 0
+	logDetached := func() {
+		pers := e.opts.Persistence
+		if pers == nil || detached == 0 {
+			return
+		}
+		wops := make([]wal.Update, detached)
+		for i := 0; i < detached; i++ {
+			wops[i] = wal.Update{Insert: false, From: ops[i].From, To: ops[i].To}
+		}
+		_ = pers.LogUpdates(graphName, wops, mg.g.Version())
+	}
 	for _, op := range ops {
 		if err := mg.g.RemoveEdge(op.From, op.To); err != nil {
+			logDetached()
 			return fmt.Errorf("engine: detach node %d: %w", id, err)
 		}
+		detached++
 	}
 	for _, m := range mg.matchers {
 		if _, _, err := m.Sync(ops); err != nil {
+			logDetached()
 			return fmt.Errorf("engine: sync matcher: %w", err)
 		}
 	}
@@ -701,6 +845,7 @@ func (e *Engine) RemoveNode(graphName string, id graph.NodeID) error {
 			cops[i] = compress.Update{Insert: op.Insert, From: op.From, To: op.To}
 		}
 		if err := mg.comp.Sync(cops); err != nil {
+			logDetached()
 			return fmt.Errorf("engine: sync compressed graph: %w", err)
 		}
 	}
@@ -710,10 +855,12 @@ func (e *Engine) RemoveNode(graphName string, id graph.NodeID) error {
 	}
 	if mg.comp != nil {
 		if err := mg.comp.SyncNodeRemoving(id); err != nil {
+			logDetached()
 			return fmt.Errorf("engine: sync compressed graph: %w", err)
 		}
 	}
 	if err := mg.g.RemoveNode(id); err != nil {
+		logDetached()
 		return err
 	}
 	// Versions moved past the syncs' snapshots; refresh them.
@@ -722,6 +869,13 @@ func (e *Engine) RemoveNode(graphName string, id graph.NodeID) error {
 	}
 	if mg.comp != nil {
 		mg.comp.RefreshVersion()
+	}
+	// One record covers the whole removal (incident-edge detach included):
+	// replay re-removes the node wholesale and restores this version.
+	if pers := e.opts.Persistence; pers != nil {
+		if err := pers.LogRemoveNode(graphName, id, mg.g.Version()); err != nil {
+			return fmt.Errorf("engine: log remove node: %w", err)
+		}
 	}
 	return nil
 }
@@ -739,13 +893,23 @@ func (e *Engine) SetNodeAttr(graphName string, id graph.NodeID, key string, v gr
 	if err := mg.g.SetAttr(id, key, v); err != nil {
 		return err
 	}
+	// The attribute is set from here on; log it on every exit path (see
+	// the logBatch comment in applyUpdates).
+	logAttr := func() error {
+		if pers := e.opts.Persistence; pers != nil {
+			return pers.LogSetAttr(graphName, id, key, v, mg.g.Version())
+		}
+		return nil
+	}
 	for _, m := range mg.matchers {
 		if _, _, err := m.SyncAttrChanged(id); err != nil {
+			_ = logAttr()
 			return fmt.Errorf("engine: sync matcher: %w", err)
 		}
 	}
 	if mg.comp != nil {
 		if err := mg.comp.SyncAttrChanged(id); err != nil {
+			_ = logAttr()
 			return fmt.Errorf("engine: sync compressed graph: %w", err)
 		}
 	}
@@ -755,6 +919,9 @@ func (e *Engine) SetNodeAttr(graphName string, id graph.NodeID, key string, v gr
 	}
 	// Standing queries take the lazy-recompute path (see RemoveNode).
 	e.hub.Invalidate(graphName)
+	if err := logAttr(); err != nil {
+		return fmt.Errorf("engine: log attr update: %w", err)
+	}
 	return nil
 }
 
@@ -808,7 +975,17 @@ func (e *Engine) BuildIndex(graphName string, opts distindex.Options) (distindex
 	}
 	mg.mu.Lock()
 	defer mg.mu.Unlock()
-	mg.idx = distindex.Build(mg.g, opts)
+	idx := distindex.Build(mg.g, opts)
+	if pers := e.opts.Persistence; pers != nil {
+		// Recovery re-arms the index from this metadata (see Recover).
+		// Persist before installing: a metadata failure must not leave an
+		// index serving now that silently vanishes at the next boot.
+		meta := &wal.IndexMeta{Landmarks: opts.Landmarks, GraphVersion: mg.g.Version()}
+		if err := pers.SetIndexMeta(graphName, meta); err != nil {
+			return idx.Stats(), fmt.Errorf("engine: persist index metadata: %w", err)
+		}
+	}
+	mg.idx = idx
 	return mg.idx.Stats(), nil
 }
 
@@ -822,6 +999,14 @@ func (e *Engine) DropIndex(graphName string) error {
 	defer mg.mu.Unlock()
 	if mg.idx == nil {
 		return fmt.Errorf("%w: %q", ErrNoIndex, graphName)
+	}
+	// Clear the persisted metadata before the in-memory index: a failure
+	// leaves both in place (consistent), never a dropped index that
+	// recovery resurrects.
+	if pers := e.opts.Persistence; pers != nil {
+		if err := pers.SetIndexMeta(graphName, nil); err != nil {
+			return fmt.Errorf("engine: clear index metadata: %w", err)
+		}
 	}
 	mg.idx = nil
 	return nil

@@ -72,6 +72,13 @@ func New(nHint int) *Graph {
 // (result caches, compressed graphs) use it to detect staleness.
 func (g *Graph) Version() uint64 { return g.version }
 
+// RestoreVersion forces the version counter. It exists for the
+// persistence layer only: a recovered graph must come back at exactly
+// the version its consumers (result caches, stored results, distance
+// indexes) knew it by, and reconstruction itself advances the counter.
+// Never rewind the version of a graph that has live consumers.
+func (g *Graph) RestoreVersion(v uint64) { g.version = v }
+
 // NumNodes returns the number of live nodes.
 func (g *Graph) NumNodes() int { return g.nAlive }
 

@@ -1,0 +1,72 @@
+package server
+
+// Admin endpoints for the durable persistence subsystem: stats for
+// observability, force-checkpoint for operators who want a bounded
+// recovery time before a planned restart (a checkpoint collapses the
+// graph's WAL into one snapshot, so the next boot replays nothing).
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"expfinder/internal/engine"
+)
+
+// persistenceStats serves GET /api/admin/persistence: whether durability
+// is on, and if so the manager's counters plus per-graph log state.
+func (s *Server) persistenceStats(w http.ResponseWriter, r *http.Request) {
+	if !s.eng.PersistenceEnabled() {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	st, err := s.eng.PersistenceStats()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"enabled": true, "stats": st})
+}
+
+// checkpointRequest selects what to checkpoint; an absent/empty graph
+// name means every managed graph.
+type checkpointRequest struct {
+	Graph string `json:"graph,omitempty"`
+}
+
+// forceCheckpoint serves POST /api/admin/persistence/checkpoint.
+func (s *Server) forceCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !s.eng.PersistenceEnabled() {
+		writeErr(w, http.StatusConflict, engine.ErrNoPersistence)
+		return
+	}
+	var req checkpointRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var checkpointed []string
+	if req.Graph != "" {
+		if err := s.eng.Checkpoint(req.Graph); err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		checkpointed = []string{req.Graph}
+	} else {
+		checkpointed = s.eng.ListGraphs()
+		if err := s.eng.CheckpointAll(); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	st, err := s.eng.PersistenceStats()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"checkpointed": checkpointed,
+		"stats":        st,
+	})
+}

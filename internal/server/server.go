@@ -27,6 +27,7 @@ import (
 	"expfinder/internal/rank"
 	"expfinder/internal/strongsim"
 	"expfinder/internal/viz"
+	"expfinder/internal/wal"
 )
 
 // Server wires an engine into an http.Handler.
@@ -62,6 +63,8 @@ func New(eng *engine.Engine) *Server {
 	s.mux.HandleFunc("GET /api/graphs/{name}/subscriptions/{id}/events", s.streamEvents)
 	s.mux.HandleFunc("GET /api/subscriptions/stats", s.subscriptionStats)
 	s.mux.HandleFunc("GET /api/cache/stats", s.cacheStats)
+	s.mux.HandleFunc("GET /api/admin/persistence", s.persistenceStats)
+	s.mux.HandleFunc("POST /api/admin/persistence/checkpoint", s.forceCheckpoint)
 	return s
 }
 
@@ -87,7 +90,7 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, engine.ErrNoGraph), errors.Is(err, engine.ErrNoIndex):
 		return http.StatusNotFound
-	case errors.Is(err, engine.ErrGraphExists):
+	case errors.Is(err, engine.ErrGraphExists), errors.Is(err, wal.ErrExists):
 		return http.StatusConflict
 	default:
 		return http.StatusBadRequest

@@ -48,30 +48,44 @@ func (cw *crcWriter) Write(p []byte) (int, error) {
 	return cw.w.Write(p)
 }
 
-func writeUvarint(w io.Writer, x uint64) error {
+// BinaryReader is the byte-oriented reader the exported binary-convention
+// helpers consume. bytes.Reader and bufio.Reader both satisfy it; so does
+// this package's internal CRC-tracking reader. The write-ahead log
+// (internal/wal) shares these primitives so its record payloads and the
+// graph codecs stay one format family.
+type BinaryReader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// WriteUvarint writes x in unsigned varint encoding.
+func WriteUvarint(w io.Writer, x uint64) error {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], x)
 	_, err := w.Write(buf[:n])
 	return err
 }
 
-func writeString(w io.Writer, s string) error {
-	if err := writeUvarint(w, uint64(len(s))); err != nil {
+// WriteString writes a length-prefixed string (uvarint + bytes).
+func WriteString(w io.Writer, s string) error {
+	if err := WriteUvarint(w, uint64(len(s))); err != nil {
 		return err
 	}
 	_, err := io.WriteString(w, s)
 	return err
 }
 
-func writeValue(w io.Writer, v graph.Value) error {
+// WriteValue writes a typed attribute value: one kind byte, then the
+// kind-specific payload.
+func WriteValue(w io.Writer, v graph.Value) error {
 	if _, err := w.Write([]byte{byte(v.Kind())}); err != nil {
 		return err
 	}
 	switch v.Kind() {
 	case graph.KindString:
-		return writeString(w, v.Str())
+		return WriteString(w, v.Str())
 	case graph.KindInt:
-		return writeUvarint(w, zigzag(v.IntVal()))
+		return WriteUvarint(w, zigzag(v.IntVal()))
 	case graph.KindFloat:
 		var buf [8]byte
 		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.FloatVal()))
@@ -99,10 +113,10 @@ func WriteGraphBinary(w io.Writer, g *graph.Graph) error {
 	if _, err := io.WriteString(cw, binaryMagic); err != nil {
 		return err
 	}
-	if err := writeUvarint(cw, binaryVersion); err != nil {
+	if err := WriteUvarint(cw, binaryVersion); err != nil {
 		return err
 	}
-	if err := writeUvarint(cw, uint64(g.NumNodes())); err != nil {
+	if err := WriteUvarint(cw, uint64(g.NumNodes())); err != nil {
 		return err
 	}
 	remap := make([]graph.NodeID, g.MaxID())
@@ -114,18 +128,18 @@ func WriteGraphBinary(w io.Writer, g *graph.Graph) error {
 		}
 		remap[n.ID] = next
 		next++
-		if encErr = writeString(cw, n.Label); encErr != nil {
+		if encErr = WriteString(cw, n.Label); encErr != nil {
 			return
 		}
-		if encErr = writeUvarint(cw, uint64(len(n.Attrs))); encErr != nil {
+		if encErr = WriteUvarint(cw, uint64(len(n.Attrs))); encErr != nil {
 			return
 		}
 		// Deterministic attribute order for byte-stable files.
 		for _, k := range sortedKeys(n.Attrs) {
-			if encErr = writeString(cw, k); encErr != nil {
+			if encErr = WriteString(cw, k); encErr != nil {
 				return
 			}
-			if encErr = writeValue(cw, n.Attrs[k]); encErr != nil {
+			if encErr = WriteValue(cw, n.Attrs[k]); encErr != nil {
 				return
 			}
 		}
@@ -133,17 +147,17 @@ func WriteGraphBinary(w io.Writer, g *graph.Graph) error {
 	if encErr != nil {
 		return encErr
 	}
-	if err := writeUvarint(cw, uint64(g.NumEdges())); err != nil {
+	if err := WriteUvarint(cw, uint64(g.NumEdges())); err != nil {
 		return err
 	}
 	g.ForEachEdge(func(e graph.Edge) {
 		if encErr != nil {
 			return
 		}
-		if encErr = writeUvarint(cw, uint64(remap[e.From])); encErr != nil {
+		if encErr = WriteUvarint(cw, uint64(remap[e.From])); encErr != nil {
 			return
 		}
-		encErr = writeUvarint(cw, uint64(remap[e.To]))
+		encErr = WriteUvarint(cw, uint64(remap[e.To]))
 	})
 	if encErr != nil {
 		return encErr
@@ -188,8 +202,11 @@ func (cr *crcReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-func readString(cr *crcReader, limit uint64) (string, error) {
-	n, err := binary.ReadUvarint(cr)
+// ReadString reads a length-prefixed string, rejecting lengths beyond
+// limit before allocating (decoders must stay panic- and OOM-free on
+// corrupt input; recovery feeds them torn files).
+func ReadString(r BinaryReader, limit uint64) (string, error) {
+	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return "", err
 	}
@@ -197,32 +214,33 @@ func readString(cr *crcReader, limit uint64) (string, error) {
 		return "", fmt.Errorf("storage: string length %d exceeds sanity limit", n)
 	}
 	buf := make([]byte, n)
-	if _, err := io.ReadFull(cr, buf); err != nil {
+	if _, err := io.ReadFull(r, buf); err != nil {
 		return "", err
 	}
 	return string(buf), nil
 }
 
-func readValue(cr *crcReader) (graph.Value, error) {
-	kind, err := cr.ReadByte()
+// ReadValue reads one typed attribute value written by WriteValue.
+func ReadValue(r BinaryReader) (graph.Value, error) {
+	kind, err := r.ReadByte()
 	if err != nil {
 		return graph.Value{}, err
 	}
 	switch graph.ValueKind(kind) {
 	case graph.KindString:
-		s, err := readString(cr, 1<<24)
+		s, err := ReadString(r, 1<<24)
 		return graph.String(s), err
 	case graph.KindInt:
-		u, err := binary.ReadUvarint(cr)
+		u, err := binary.ReadUvarint(r)
 		return graph.Int(unzigzag(u)), err
 	case graph.KindFloat:
 		var buf [8]byte
-		if _, err := io.ReadFull(cr, buf[:]); err != nil {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
 			return graph.Value{}, err
 		}
 		return graph.Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))), nil
 	case graph.KindBool:
-		b, err := cr.ReadByte()
+		b, err := r.ReadByte()
 		return graph.Bool(b != 0), err
 	default:
 		return graph.Value{}, fmt.Errorf("storage: unknown value kind %d", kind)
@@ -254,9 +272,9 @@ func ReadGraphBinary(r io.Reader) (*graph.Graph, error) {
 	if nNodes > 1<<31 {
 		return nil, fmt.Errorf("storage: implausible node count %d", nNodes)
 	}
-	g := graph.New(int(nNodes))
+	g := graph.New(allocHint(nNodes))
 	for i := uint64(0); i < nNodes; i++ {
-		label, err := readString(cr, 1<<20)
+		label, err := ReadString(cr, 1<<20)
 		if err != nil {
 			return nil, fmt.Errorf("storage: node %d label: %w", i, err)
 		}
@@ -271,11 +289,11 @@ func ReadGraphBinary(r io.Reader) (*graph.Graph, error) {
 		if nAttrs > 0 {
 			attrs = make(graph.Attrs, nAttrs)
 			for a := uint64(0); a < nAttrs; a++ {
-				key, err := readString(cr, 1<<20)
+				key, err := ReadString(cr, 1<<20)
 				if err != nil {
 					return nil, err
 				}
-				val, err := readValue(cr)
+				val, err := ReadValue(cr)
 				if err != nil {
 					return nil, err
 				}
@@ -309,5 +327,213 @@ func ReadGraphBinary(r io.Reader) (*graph.Graph, error) {
 	if binary.LittleEndian.Uint32(crcBuf[:]) != wantCRC {
 		return nil, ErrBadChecksum
 	}
+	return g, nil
+}
+
+// allocHint caps count-prefix-driven allocations: counts are read from
+// untrusted input before the elements that justify them, so a corrupt
+// prefix must not translate into a multi-gigabyte make. Decoding appends
+// past the hint just fine; a wrong hint only costs reallocation.
+func allocHint(n uint64) int {
+	const max = 1 << 20
+	if n > max {
+		return max
+	}
+	return int(n)
+}
+
+// Image format: the write-ahead log's snapshot codec. Unlike the graph
+// binary format above — which compacts tombstones and renumbers nodes,
+// fine for import/export — an image preserves the graph's exact
+// in-memory identity: node ids (tombstones included), adjacency order,
+// and the mutation version. WAL records logged after a snapshot
+// reference original node ids, so checkpoints must not renumber.
+//
+//	magic "EXPI" | format version (uvarint) | graph version (uvarint)
+//	max id (uvarint), then per id slot: alive byte (0|1),
+//	  if alive: label | attr count | (key, value)*
+//	edge count (uvarint), then per edge: from, to (raw ids, uvarints)
+//	crc32 (IEEE, little-endian uint32) of everything before it
+const (
+	imageMagic   = "EXPI"
+	imageVersion = 1
+)
+
+// ErrBadImage reports input that is not an ExpFinder graph image.
+var ErrBadImage = errors.New("storage: not an ExpFinder graph image")
+
+// WriteGraphImage encodes the exact in-memory image of g (ids,
+// tombstones, adjacency order, version) with a trailing checksum. Two
+// graphs with the same mutation history produce byte-identical images —
+// the crash-recovery contract is stated in terms of this codec.
+func WriteGraphImage(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	if _, err := io.WriteString(cw, imageMagic); err != nil {
+		return err
+	}
+	if err := WriteUvarint(cw, imageVersion); err != nil {
+		return err
+	}
+	if err := WriteUvarint(cw, g.Version()); err != nil {
+		return err
+	}
+	if err := WriteUvarint(cw, uint64(g.MaxID())); err != nil {
+		return err
+	}
+	for id := 0; id < g.MaxID(); id++ {
+		n, ok := g.Node(graph.NodeID(id))
+		if !ok {
+			if _, err := cw.Write([]byte{0}); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := cw.Write([]byte{1}); err != nil {
+			return err
+		}
+		if err := WriteString(cw, n.Label); err != nil {
+			return err
+		}
+		if err := WriteUvarint(cw, uint64(len(n.Attrs))); err != nil {
+			return err
+		}
+		for _, k := range sortedKeys(n.Attrs) {
+			if err := WriteString(cw, k); err != nil {
+				return err
+			}
+			if err := WriteValue(cw, n.Attrs[k]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := WriteUvarint(cw, uint64(g.NumEdges())); err != nil {
+		return err
+	}
+	var encErr error
+	g.ForEachEdge(func(e graph.Edge) {
+		if encErr != nil {
+			return
+		}
+		if encErr = WriteUvarint(cw, uint64(e.From)); encErr != nil {
+			return
+		}
+		encErr = WriteUvarint(cw, uint64(e.To))
+	})
+	if encErr != nil {
+		return encErr
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], cw.crc)
+	if _, err := bw.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadGraphImage decodes a graph image, verifying the checksum and
+// restoring the recorded version. Corrupt or truncated input returns an
+// error, never panics.
+func ReadGraphImage(r io.Reader) (*graph.Graph, error) {
+	cr := &crcReader{r: bufio.NewReader(r)}
+	magic := make([]byte, len(imageMagic))
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("storage: read image magic: %w", err)
+	}
+	if string(magic) != imageMagic {
+		return nil, ErrBadImage
+	}
+	ver, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, err
+	}
+	if ver != imageVersion {
+		return nil, fmt.Errorf("%w: image format %d", ErrBadVersion, ver)
+	}
+	graphVersion, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, err
+	}
+	maxID, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, err
+	}
+	if maxID > 1<<31 {
+		return nil, fmt.Errorf("storage: implausible max id %d", maxID)
+	}
+	g := graph.New(allocHint(maxID))
+	for i := uint64(0); i < maxID; i++ {
+		alive, err := cr.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("storage: image slot %d: %w", i, err)
+		}
+		switch alive {
+		case 0:
+			// Recreate the tombstone so later ids stay aligned.
+			id := g.AddNode("", nil)
+			if err := g.RemoveNode(id); err != nil {
+				return nil, err
+			}
+		case 1:
+			label, err := ReadString(cr, 1<<20)
+			if err != nil {
+				return nil, fmt.Errorf("storage: image node %d label: %w", i, err)
+			}
+			nAttrs, err := binary.ReadUvarint(cr)
+			if err != nil {
+				return nil, err
+			}
+			if nAttrs > 1<<16 {
+				return nil, fmt.Errorf("storage: implausible attr count %d", nAttrs)
+			}
+			var attrs graph.Attrs
+			if nAttrs > 0 {
+				attrs = make(graph.Attrs, allocHint(nAttrs))
+				for a := uint64(0); a < nAttrs; a++ {
+					key, err := ReadString(cr, 1<<20)
+					if err != nil {
+						return nil, err
+					}
+					val, err := ReadValue(cr)
+					if err != nil {
+						return nil, err
+					}
+					attrs[key] = val
+				}
+			}
+			g.AddNode(label, attrs)
+		default:
+			return nil, fmt.Errorf("storage: image slot %d: bad alive byte %d", i, alive)
+		}
+	}
+	nEdges, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nEdges; i++ {
+		from, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, err
+		}
+		to, err := binary.ReadUvarint(cr)
+		if err != nil {
+			return nil, err
+		}
+		if from > 1<<31 || to > 1<<31 {
+			return nil, fmt.Errorf("storage: image edge %d: implausible ids %d->%d", i, from, to)
+		}
+		if err := g.AddEdge(graph.NodeID(from), graph.NodeID(to)); err != nil {
+			return nil, fmt.Errorf("storage: image edge %d (%d->%d): %w", i, from, to, err)
+		}
+	}
+	wantCRC := cr.crc
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(cr.r, crcBuf[:]); err != nil {
+		return nil, fmt.Errorf("storage: read image checksum: %w", err)
+	}
+	if binary.LittleEndian.Uint32(crcBuf[:]) != wantCRC {
+		return nil, ErrBadChecksum
+	}
+	g.RestoreVersion(graphVersion)
 	return g, nil
 }

@@ -59,8 +59,10 @@ func Open(dir string) (*Store, error) {
 // Root returns the store's base directory.
 func (s *Store) Root() string { return s.root }
 
-// validName rejects path traversal and empty names.
-func validName(name string) error {
+// ValidName rejects empty names and path traversal: names become file
+// and directory names in the store and the write-ahead log, so they must
+// not contain separators or dot-dot components.
+func ValidName(name string) error {
 	if name == "" || strings.ContainsAny(name, `/\`) || strings.Contains(name, "..") {
 		return fmt.Errorf("%w: %q", ErrBadName, name)
 	}
@@ -70,7 +72,7 @@ func validName(name string) error {
 // SaveGraph writes a named graph in the given format, atomically (write to
 // a temp file, then rename).
 func (s *Store) SaveGraph(name string, g *graph.Graph, format Format) error {
-	if err := validName(name); err != nil {
+	if err := ValidName(name); err != nil {
 		return err
 	}
 	path := filepath.Join(s.root, "graphs", name+format.ext())
@@ -96,7 +98,7 @@ func (s *Store) SaveGraph(name string, g *graph.Graph, format Format) error {
 
 // LoadGraph reads a named graph, trying the binary format first.
 func (s *Store) LoadGraph(name string) (*graph.Graph, error) {
-	if err := validName(name); err != nil {
+	if err := ValidName(name); err != nil {
 		return nil, err
 	}
 	for _, format := range []Format{FormatBinary, FormatJSON} {
@@ -143,7 +145,7 @@ func (s *Store) ListGraphs() ([]string, error) {
 
 // DeleteGraph removes a named graph in all formats.
 func (s *Store) DeleteGraph(name string) error {
-	if err := validName(name); err != nil {
+	if err := ValidName(name); err != nil {
 		return err
 	}
 	found := false
@@ -217,7 +219,7 @@ func resultKey(graphName, patternHash string) string {
 
 // SaveResult persists a query result record.
 func (s *Store) SaveResult(rec *ResultRecord) error {
-	if err := validName(rec.GraphName); err != nil {
+	if err := ValidName(rec.GraphName); err != nil {
 		return err
 	}
 	data, err := json.Marshal(rec)
@@ -243,7 +245,7 @@ func (s *Store) SaveResult(rec *ResultRecord) error {
 // LoadResult retrieves a persisted result for the (graph, pattern) pair,
 // or ErrNotFound.
 func (s *Store) LoadResult(graphName, patternHash string) (*ResultRecord, error) {
-	if err := validName(graphName); err != nil {
+	if err := ValidName(graphName); err != nil {
 		return nil, err
 	}
 	path := filepath.Join(s.root, "results", resultKey(graphName, patternHash)+".json")

@@ -1,0 +1,259 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"expfinder/internal/graph"
+	"expfinder/internal/storage"
+)
+
+// Record kinds, one per engine mutation path. recVersion carries no
+// mutation: it advances the version counter alone, for writers whose
+// content is unchanged but whose version moved. (The engine's rollback
+// path does NOT use it — a rollback re-adds edges by append, changing
+// adjacency ORDER, so it logs the forward+inverse op sequence instead to
+// keep recovery byte-identical.)
+const (
+	recUpdates    byte = 1
+	recAddNode    byte = 2
+	recRemoveNode byte = 3
+	recSetAttr    byte = 4
+	recVersion    byte = 5
+)
+
+// Update is one edge insertion or deletion, the WAL's mirror of
+// incremental.Update (the log sits below the matching layers and must
+// not import them).
+type Update struct {
+	Insert   bool
+	From, To graph.NodeID
+}
+
+// record is the decoded form of one log entry. post is the graph's
+// version immediately after the mutation; replay restores it exactly, so
+// recovered graphs re-enter the engine at the version every persisted
+// consumer (stored results, index metadata) knew them by.
+type record struct {
+	kind  byte
+	post  uint64
+	ops   []Update     // recUpdates
+	label string       // recAddNode
+	attrs graph.Attrs  // recAddNode
+	id    graph.NodeID // recRemoveNode, recSetAttr
+	key   string       // recSetAttr
+	val   graph.Value  // recSetAttr
+}
+
+// encodePayload serializes the record body (everything the frame CRC
+// covers) using the storage binary conventions.
+func encodePayload(buf *bytes.Buffer, r *record) error {
+	buf.WriteByte(r.kind)
+	if err := storage.WriteUvarint(buf, r.post); err != nil {
+		return err
+	}
+	switch r.kind {
+	case recUpdates:
+		if err := storage.WriteUvarint(buf, uint64(len(r.ops))); err != nil {
+			return err
+		}
+		for _, op := range r.ops {
+			ins := byte(0)
+			if op.Insert {
+				ins = 1
+			}
+			buf.WriteByte(ins)
+			if err := storage.WriteUvarint(buf, uint64(op.From)); err != nil {
+				return err
+			}
+			if err := storage.WriteUvarint(buf, uint64(op.To)); err != nil {
+				return err
+			}
+		}
+	case recAddNode:
+		if err := storage.WriteString(buf, r.label); err != nil {
+			return err
+		}
+		if err := storage.WriteUvarint(buf, uint64(len(r.attrs))); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(r.attrs))
+		for k := range r.attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := storage.WriteString(buf, k); err != nil {
+				return err
+			}
+			if err := storage.WriteValue(buf, r.attrs[k]); err != nil {
+				return err
+			}
+		}
+	case recRemoveNode:
+		if err := storage.WriteUvarint(buf, uint64(r.id)); err != nil {
+			return err
+		}
+	case recSetAttr:
+		if err := storage.WriteUvarint(buf, uint64(r.id)); err != nil {
+			return err
+		}
+		if err := storage.WriteString(buf, r.key); err != nil {
+			return err
+		}
+		if err := storage.WriteValue(buf, r.val); err != nil {
+			return err
+		}
+	case recVersion:
+		// post alone.
+	default:
+		return fmt.Errorf("wal: unknown record kind %d", r.kind)
+	}
+	return nil
+}
+
+// decodeRecord parses one CRC-verified payload. Errors mean corruption
+// beyond what the frame checksum caught (which is why they are treated
+// as fatal, not torn-tail, by the replayer).
+func decodeRecord(payload []byte) (*record, error) {
+	br := bytes.NewReader(payload)
+	kind, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("wal: empty record: %w", err)
+	}
+	post, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("wal: record version: %w", err)
+	}
+	rec := &record{kind: kind, post: post}
+	readID := func() (graph.NodeID, error) {
+		u, err := binary.ReadUvarint(br)
+		if err != nil {
+			return graph.Invalid, err
+		}
+		if u > 1<<31 {
+			return graph.Invalid, fmt.Errorf("wal: implausible node id %d", u)
+		}
+		return graph.NodeID(u), nil
+	}
+	switch kind {
+	case recUpdates:
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		// Every op costs at least 3 payload bytes; a count beyond that is
+		// corrupt, and even a valid count must not drive a huge up-front
+		// allocation (append grows past the clamp just fine).
+		if n > uint64(len(payload))/3 {
+			return nil, fmt.Errorf("wal: implausible op count %d", n)
+		}
+		hint := n
+		if hint > 1<<16 {
+			hint = 1 << 16
+		}
+		rec.ops = make([]Update, 0, hint)
+		for i := uint64(0); i < n; i++ {
+			ins, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			if ins > 1 {
+				return nil, fmt.Errorf("wal: bad op flag %d", ins)
+			}
+			from, err := readID()
+			if err != nil {
+				return nil, err
+			}
+			to, err := readID()
+			if err != nil {
+				return nil, err
+			}
+			rec.ops = append(rec.ops, Update{Insert: ins == 1, From: from, To: to})
+		}
+	case recAddNode:
+		if rec.label, err = storage.ReadString(br, 1<<20); err != nil {
+			return nil, err
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<16 {
+			return nil, fmt.Errorf("wal: implausible attr count %d", n)
+		}
+		if n > 0 {
+			rec.attrs = make(graph.Attrs, n)
+			for i := uint64(0); i < n; i++ {
+				k, err := storage.ReadString(br, 1<<20)
+				if err != nil {
+					return nil, err
+				}
+				v, err := storage.ReadValue(br)
+				if err != nil {
+					return nil, err
+				}
+				rec.attrs[k] = v
+			}
+		}
+	case recRemoveNode:
+		if rec.id, err = readID(); err != nil {
+			return nil, err
+		}
+	case recSetAttr:
+		if rec.id, err = readID(); err != nil {
+			return nil, err
+		}
+		if rec.key, err = storage.ReadString(br, 1<<20); err != nil {
+			return nil, err
+		}
+		if rec.val, err = storage.ReadValue(br); err != nil {
+			return nil, err
+		}
+	case recVersion:
+		// nothing further
+	default:
+		return nil, fmt.Errorf("wal: unknown record kind %d", kind)
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("wal: %d trailing bytes in record", br.Len())
+	}
+	return rec, nil
+}
+
+// apply replays the record's mutation onto g and restores the logged
+// post-mutation version. The engine logged the record after the mutation
+// succeeded, so replay failures mean the log and snapshot disagree —
+// corruption, reported as an error.
+func (r *record) apply(g *graph.Graph) error {
+	switch r.kind {
+	case recUpdates:
+		for _, op := range r.ops {
+			var err error
+			if op.Insert {
+				err = g.AddEdge(op.From, op.To)
+			} else {
+				err = g.RemoveEdge(op.From, op.To)
+			}
+			if err != nil {
+				return fmt.Errorf("wal: replay edge op %d->%d: %w", op.From, op.To, err)
+			}
+		}
+	case recAddNode:
+		g.AddNode(r.label, r.attrs)
+	case recRemoveNode:
+		if err := g.RemoveNode(r.id); err != nil {
+			return fmt.Errorf("wal: replay remove node %d: %w", r.id, err)
+		}
+	case recSetAttr:
+		if err := g.SetAttr(r.id, r.key, r.val); err != nil {
+			return fmt.Errorf("wal: replay set attr on node %d: %w", r.id, err)
+		}
+	case recVersion:
+		// version restore below is the whole mutation
+	}
+	g.RestoreVersion(r.post)
+	return nil
+}

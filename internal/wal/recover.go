@@ -1,0 +1,337 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"expfinder/internal/graph"
+	"expfinder/internal/storage"
+)
+
+// Recovered is the result of replaying one graph's persisted state.
+type Recovered struct {
+	// Graph is the reconstructed graph at its exact pre-crash version
+	// (modulo records lost to the fsync policy or a torn tail).
+	Graph *graph.Graph
+	// SnapshotVersion is the version of the snapshot replay started
+	// from; zero with HadSnapshot false means replay started empty.
+	SnapshotVersion uint64
+	HadSnapshot     bool
+	// Records is how many log records were replayed on top.
+	Records int
+	// TornTail reports that the final segment ended mid-record — the
+	// signature of a crash during an append — and the partial record was
+	// discarded. Everything before it was recovered.
+	TornTail bool
+	// Index is the persisted distance-index metadata, if any; the engine
+	// re-arms (rebuilds) the index from it.
+	Index *IndexMeta
+}
+
+// GraphNames lists the graphs with persisted state, sorted.
+func (m *Manager) GraphNames() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(m.opts.Dir, "graphs"))
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Recover rebuilds one graph from its latest valid snapshot plus every
+// surviving log record, then re-attaches the graph to the manager with a
+// fresh checkpoint — collapsing snapshot + replayed segments into one
+// snapshot, which is how replayed WAL gets truncated. The returned graph
+// is the engine's to own (register it before mutating).
+//
+// Tolerated damage, in recovery order: a corrupt newest snapshot falls
+// back to the previous one (a crash can only tear the newest, which the
+// atomic rename already guards); a torn record at the end of the final
+// segment is dropped, and the damaged segment is quarantined as
+// <name>.torn (never deleted) so the dropped bytes stay inspectable.
+// Damage anywhere else — a torn record mid-log, a damaged frame with
+// valid records after it (bit rot, not a crash), a snapshot/record
+// mismatch — is corruption and fails the recovery without touching the
+// files, so an operator can inspect them.
+func (m *Manager) Recover(name string) (*Recovered, error) {
+	if err := storage.ValidName(name); err != nil {
+		return nil, err
+	}
+	dir := m.graphDir(name)
+	gl := &graphLog{m: m, name: name, dir: dir}
+	if err := m.reserve(name, gl); err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(dir); err != nil {
+		m.unreserve(name, gl)
+		return nil, fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	rec, err := loadGraphState(dir)
+	if err != nil {
+		m.unreserve(name, gl)
+		return nil, fmt.Errorf("wal: recover %q: %w", name, err)
+	}
+	rec.Index = readIndexMeta(dir)
+
+	// Quarantine the torn segment before the re-checkpoint deletes the
+	// replayed files: the discarded partial record stays on disk for
+	// inspection (checkpoints never touch *.torn).
+	if rec.TornTail {
+		if _, segs, lerr := listState(dir); lerr == nil && len(segs) > 0 {
+			last := segs[len(segs)-1].name
+			_ = os.Rename(filepath.Join(dir, last), filepath.Join(dir, last+".torn"))
+		}
+	}
+	// gl is already published via reserve; finish initialization under
+	// its lock (Flush/Stats may observe it concurrently).
+	gl.mu.Lock()
+	defer gl.mu.Unlock()
+	gl.lastVersion = rec.Graph.Version()
+	if err := gl.checkpoint(rec.Graph); err != nil {
+		m.unreserve(name, gl)
+		gl.closeFile()
+		return nil, fmt.Errorf("wal: re-checkpoint %q: %w", name, err)
+	}
+	return rec, nil
+}
+
+// loadGraphState reconstructs a graph from the files in dir without
+// modifying anything.
+func loadGraphState(dir string) (*Recovered, error) {
+	snaps, segs, err := listState(dir)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Recovered{}
+	g := graph.New(0)
+	// Newest snapshot first; fall back on corruption. Only the newest can
+	// legitimately be damaged (crash before its rename completed cannot
+	// even leave the name; this guards against filesystem-level damage
+	// too, since older snapshots plus their segments still reconstruct).
+	for i := len(snaps) - 1; i >= 0; i-- {
+		f, err := os.Open(filepath.Join(dir, snaps[i].name))
+		if err != nil {
+			continue
+		}
+		sg, rerr := storage.ReadGraphImage(f)
+		f.Close()
+		if rerr == nil {
+			g = sg
+			rec.HadSnapshot = true
+			rec.SnapshotVersion = sg.Version()
+			break
+		}
+		if i > 0 {
+			continue
+		}
+		return nil, fmt.Errorf("no usable snapshot: %w", rerr)
+	}
+	// Replay segments oldest-first. Records at or below the graph's
+	// version are already covered by the snapshot (a crash between
+	// snapshot rename and segment deletion leaves such overlap).
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		n, torn, err := replaySegment(filepath.Join(dir, seg.name), g, last)
+		rec.Records += n
+		if err != nil {
+			return nil, fmt.Errorf("segment %s: %w", seg.name, err)
+		}
+		if torn {
+			rec.TornTail = true
+		}
+	}
+	rec.Graph = g
+	return rec, nil
+}
+
+type stateFile struct {
+	name string
+	ver  uint64
+}
+
+// listState enumerates snapshots and segments, sorted by their embedded
+// version.
+func listState(dir string) (snaps, segs []stateFile, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	parse := func(name, prefix, suffix string) (uint64, bool) {
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			return 0, false
+		}
+		v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix), 10, 64)
+		return v, err == nil
+	}
+	for _, e := range entries {
+		if v, ok := parse(e.Name(), snapPrefix, snapSuffix); ok {
+			snaps = append(snaps, stateFile{e.Name(), v})
+		} else if v, ok := parse(e.Name(), segPrefix, segSuffix); ok {
+			segs = append(segs, stateFile{e.Name(), v})
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].ver < snaps[j].ver })
+	sort.Slice(segs, func(i, j int) bool { return segs[i].ver < segs[j].ver })
+	return snaps, segs, nil
+}
+
+// replaySegment applies a segment's records to g. tolerateTorn (the
+// final segment) turns a trailing partial or CRC-failing frame into a
+// clean stop instead of an error; a torn segment header is likewise a
+// clean empty segment, the signature of a crash at rotation.
+func replaySegment(path string, g *graph.Graph, tolerateTorn bool) (replayed int, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false, err
+	}
+	br := bytes.NewReader(data)
+	hdr := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, hdr); err != nil || string(hdr) != segMagic {
+		if tolerateTorn {
+			return 0, true, nil
+		}
+		return 0, false, errors.New("bad segment magic")
+	}
+	if v, err := binary.ReadUvarint(br); err != nil || v != segFormatVersion {
+		if tolerateTorn {
+			return 0, true, nil
+		}
+		return 0, false, fmt.Errorf("unsupported segment format")
+	}
+	if _, err := binary.ReadUvarint(br); err != nil { // base version (informational)
+		if tolerateTorn {
+			return 0, true, nil
+		}
+		return 0, false, fmt.Errorf("truncated segment header")
+	}
+	for br.Len() > 0 {
+		tearAt := len(data) - br.Len()
+		plen, err := binary.ReadUvarint(br)
+		if err != nil || plen > 1<<30 || int64(plen)+4 > int64(br.Len()) {
+			if tolerateTorn {
+				return replayed, true, tornOrCorrupt(data, tearAt, replayed)
+			}
+			return replayed, false, fmt.Errorf("truncated frame after %d records", replayed)
+		}
+		payload := make([]byte, plen)
+		_, _ = io.ReadFull(br, payload)
+		var crcBuf [4]byte
+		_, _ = io.ReadFull(br, crcBuf[:])
+		if binary.LittleEndian.Uint32(crcBuf[:]) != crc32.ChecksumIEEE(payload) {
+			if tolerateTorn {
+				return replayed, true, tornOrCorrupt(data, tearAt, replayed)
+			}
+			return replayed, false, fmt.Errorf("frame checksum mismatch after %d records", replayed)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			// The CRC matched, so this is not a torn write: the writer and
+			// reader disagree about the format. Never silently drop it.
+			return replayed, false, err
+		}
+		if rec.post <= g.Version() {
+			continue // already covered by the snapshot
+		}
+		if err := rec.apply(g); err != nil {
+			return replayed, false, err
+		}
+		replayed++
+	}
+	return replayed, false, nil
+}
+
+// tornOrCorrupt decides what a damaged frame at the end of the final
+// segment means. A genuine torn write (the crash signature) leaves
+// NOTHING decodable after the tear — the writer was killed mid-append of
+// the last record. If a complete, CRC-valid, decodable frame exists
+// anywhere after the damage, this is mid-segment corruption (bit rot)
+// and silently dropping the valid suffix would lose acknowledged
+// records: fail the recovery instead. The scan window is bounded;
+// damage more than a window past the tear behaves like a torn tail,
+// which is the lesser failure (quarantine keeps the bytes).
+func tornOrCorrupt(data []byte, tearAt, replayed int) error {
+	const scanWindow = 1 << 20
+	rest := data[tearAt:]
+	limit := len(rest)
+	if limit > scanWindow {
+		limit = scanWindow
+	}
+	for off := 1; off < limit; off++ {
+		br := bytes.NewReader(rest[off:])
+		plen, err := binary.ReadUvarint(br)
+		if err != nil || plen == 0 || plen > 1<<30 || int64(plen)+4 > int64(br.Len()) {
+			continue
+		}
+		body := len(rest) - br.Len() // first byte after the length varint
+		payload := rest[body : body+int(plen)]
+		crc := binary.LittleEndian.Uint32(rest[body+int(plen) : body+int(plen)+4])
+		if crc != crc32.ChecksumIEEE(payload) {
+			continue
+		}
+		if _, derr := decodeRecord(payload); derr == nil {
+			return fmt.Errorf("damaged frame after %d records is followed by a valid record at +%d bytes — mid-segment corruption, not a torn tail", replayed, off)
+		}
+	}
+	return nil
+}
+
+// writeIndexMeta atomically persists (or removes, for nil) index
+// metadata.
+func writeIndexMeta(dir string, meta *IndexMeta) error {
+	path := filepath.Join(dir, indexMetaFile)
+	if meta == nil {
+		err := os.Remove(path)
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	data, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".idx-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// readIndexMeta loads index metadata; unreadable or corrupt metadata is
+// treated as absent (the index is an accelerator — dropping it is always
+// safe).
+func readIndexMeta(dir string) *IndexMeta {
+	data, err := os.ReadFile(filepath.Join(dir, indexMetaFile))
+	if err != nil {
+		return nil
+	}
+	var meta IndexMeta
+	if json.Unmarshal(data, &meta) != nil {
+		return nil
+	}
+	return &meta
+}
