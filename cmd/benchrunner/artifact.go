@@ -1,0 +1,81 @@
+package main
+
+// Machine-readable benchmark artifacts: every a-series experiment
+// writes a BENCH_<exp>.json next to its human-readable table, so the
+// performance trajectory (timings, speedups, exchange volumes) can be
+// tracked per PR — CI uploads them as workflow artifacts. The e-series
+// reproduces the paper's fixed tables and stays log-only.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// artifactsDir is where artifacts land; the -artifacts flag sets it and
+// an empty value disables writing.
+var artifactsDir = "."
+
+// metric is one recorded measurement.
+type metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+}
+
+// artifact is the BENCH_<exp>.json document.
+type artifact struct {
+	Experiment string   `json:"experiment"`
+	Scale      string   `json:"scale"`
+	Seed       int64    `json:"seed"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	CreatedAt  string   `json:"created_at"`
+	Metrics    []metric `json:"metrics"`
+}
+
+// newArtifact starts a report for one experiment run.
+func newArtifact(exp string, full bool, seed int64) *artifact {
+	scale := "small"
+	if full {
+		scale = "full"
+	}
+	return &artifact{
+		Experiment: exp,
+		Scale:      scale,
+		Seed:       seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// add records one measurement.
+func (a *artifact) add(name string, value float64, unit string) {
+	a.Metrics = append(a.Metrics, metric{Name: name, Value: value, Unit: unit})
+}
+
+// addDuration records a timing in microseconds.
+func (a *artifact) addDuration(name string, d time.Duration) {
+	a.add(name, float64(d.Microseconds()), "us")
+}
+
+// write emits BENCH_<exp>.json. Failures are reported but never fail
+// the run — the artifact is a byproduct, the table is the experiment.
+func (a *artifact) write() {
+	if artifactsDir == "" {
+		return
+	}
+	path := filepath.Join(artifactsDir, "BENCH_"+a.Experiment+".json")
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "artifact %s: %v\n", path, err)
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "artifact %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("wrote %s\n", path)
+}

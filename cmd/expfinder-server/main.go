@@ -32,6 +32,9 @@
 //	POST   /api/graphs/{name}/index         build landmark distance index ({"landmarks": k})
 //	GET    /api/graphs/{name}/index         index stats
 //	DELETE /api/graphs/{name}/index         drop index
+//	POST   /api/graphs/{name}/partitions    build edge-cut partitioning ({"parts": P, "strategy": "greedy|hash"})
+//	GET    /api/graphs/{name}/partitions    partition stats (fragments, cut edges, exchange volume)
+//	DELETE /api/graphs/{name}/partitions    drop partitioning
 //	POST   /api/query/batch                 {"queries": [{"graph": ..., "dsl": ..., "k": 5}, ...]}
 //	POST   /api/graphs/{name}/subscriptions      register a continuous query ({"dsl": ..., "k": 5})
 //	GET    /api/graphs/{name}/subscriptions      list subscriptions
@@ -41,6 +44,7 @@
 //	GET    /api/cache/stats                 result-cache counters
 //	GET    /api/admin/persistence           durability stats (WAL sizes, snapshots)
 //	POST   /api/admin/persistence/checkpoint  force a checkpoint ({"graph": ...} or all)
+//	GET    /healthz                         readiness + boot recovery summary (for load balancers)
 package main
 
 import (
@@ -86,11 +90,13 @@ func main() {
 	}
 	eng := engine.New(opts)
 
+	var recovery *engine.RecoverySummary
 	if opts.Persistence != nil {
 		sum, err := eng.Recover()
 		if err != nil {
 			log.Fatalf("recover: %v", err)
 		}
+		recovery = sum
 		for _, gr := range sum.Graphs {
 			if gr.Err != "" {
 				log.Printf("recover %q FAILED: %s (files left for inspection)", gr.Name, gr.Err)
@@ -150,9 +156,13 @@ func main() {
 		}
 	}
 
+	api := server.New(eng)
+	// /healthz reports the boot recovery outcome; readiness is implied by
+	// serving at all (recovery completed above, before the listener).
+	api.SetRecoverySummary(recovery)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logging(server.New(eng)),
+		Handler:           logging(api),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -202,9 +212,15 @@ func main() {
 	}
 }
 
-// logging is a minimal request logger.
+// logging is a minimal request logger. Health probes are exempt: a load
+// balancer polling /healthz every few seconds would drown real request
+// logs in identical lines.
 func logging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
 		start := time.Now()
 		next.ServeHTTP(w, r)
 		log.Printf("%s %s (%s)", r.Method, r.URL.Path, time.Since(start))

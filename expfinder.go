@@ -38,9 +38,10 @@
 // (RegisterQuery / ApplyUpdates), continuous queries streaming match
 // deltas to subscribers (Engine.Subscribe / PushUpdates), query-preserving
 // graph compression (CompressGraph), a landmark distance index
-// (BuildIndex), a result cache, file-based graph storage, synthetic
-// social-network generators, and an HTTP server (cmd/expfinder-server)
-// standing in for the demo's GUI.
+// (BuildIndex), edge-cut graph partitioning with partition-parallel
+// evaluation (Engine.PartitionGraph), a result cache, file-based graph
+// storage, synthetic social-network generators, and an HTTP server
+// (cmd/expfinder-server) standing in for the demo's GUI.
 package expfinder
 
 import (
@@ -55,6 +56,7 @@ import (
 	"expfinder/internal/incremental"
 	"expfinder/internal/isomorphism"
 	"expfinder/internal/match"
+	"expfinder/internal/partition"
 	"expfinder/internal/pattern"
 	"expfinder/internal/rank"
 	"expfinder/internal/simulation"
@@ -394,6 +396,57 @@ func MatchDualIndexed(g *Graph, q *Query, ix *DistanceIndex) *MatchRelation {
 		return strongsim.Dual(g, q)
 	}
 	return strongsim.DualIndexed(g, q, ix)
+}
+
+// Partitioned graphs: edge-cut sharding plus a partition-parallel
+// evaluator. Each fragment refines the candidates of the nodes it owns
+// concurrently and removals crossing a fragment boundary travel as
+// counted decrement deltas exchanged at superstep barriers — the result
+// is byte-identical to Match / MatchDual for every fragment count. For
+// managed graphs use Engine.PartitionGraph and let plan selection route
+// shallow bounded queries through the partitioned plan automatically.
+type (
+	// GraphPartitioning is an edge-cut sharding of one graph.
+	GraphPartitioning = partition.Partitioning
+	// PartitionOptions configures PartitionGraph (fragment count and
+	// assignment strategy).
+	PartitionOptions = partition.Options
+	// PartitionStrategy selects the node-to-fragment assignment policy.
+	PartitionStrategy = partition.Strategy
+	// PartitionStats summarizes fragments, cut edges, ghosts, and the
+	// cumulative boundary-exchange volume.
+	PartitionStats = partition.Stats
+	// PartitionEvalStats reports one partition-parallel evaluation's
+	// supersteps and boundary-exchange volume.
+	PartitionEvalStats = partition.EvalStats
+)
+
+// Partitioning strategies.
+const (
+	// PartitionGreedy is locality-aware streaming assignment: fewer cut
+	// edges, deterministic.
+	PartitionGreedy = partition.StrategyGreedy
+	// PartitionHash is stateless hashed assignment: perfectly balanced,
+	// topology-blind.
+	PartitionHash = partition.StrategyHash
+)
+
+// PartitionGraph shards g into fragments (opts.Parts <= 0 means
+// GOMAXPROCS).
+func PartitionGraph(g *Graph, opts PartitionOptions) (*GraphPartitioning, error) {
+	return partition.Partition(g, opts)
+}
+
+// MatchPartitioned is Match evaluated fragment-parallel over pt, with
+// the boundary-exchange stats of the run; the relation is identical to
+// Match's.
+func MatchPartitioned(g *Graph, q *Query, pt *GraphPartitioning) (*MatchRelation, PartitionEvalStats, error) {
+	return partition.Eval(g, q, pt, partition.Bounded)
+}
+
+// MatchDualPartitioned is MatchDual evaluated fragment-parallel over pt.
+func MatchDualPartitioned(g *Graph, q *Query, pt *GraphPartitioning) (*MatchRelation, PartitionEvalStats, error) {
+	return partition.Eval(g, q, pt, partition.Dual)
 }
 
 // Generators.

@@ -44,6 +44,7 @@ import (
 	"expfinder/internal/graph"
 	"expfinder/internal/incremental"
 	"expfinder/internal/match"
+	"expfinder/internal/partition"
 	"expfinder/internal/pattern"
 	"expfinder/internal/rank"
 	"expfinder/internal/simulation"
@@ -73,6 +74,13 @@ const (
 	// Selected whenever a fresh index is registered and the query has
 	// bounds beyond 1; the relation is identical to PlanBounded's.
 	PlanIndexed Plan = "indexed-bounded-simulation"
+	// PlanPartitioned is bounded simulation evaluated fragment-parallel
+	// over the graph's edge-cut partitioning, with boundary deltas
+	// exchanged between fragments to the global fixpoint. Selected ahead
+	// of the indexed plan when a fresh partitioning exists and the
+	// pattern's radius keeps fragment-local work dominant (no unbounded
+	// edges, small max bound); the relation is identical to PlanBounded's.
+	PlanPartitioned Plan = "partitioned-bounded-simulation"
 )
 
 // Source names where a query result came from.
@@ -85,6 +93,7 @@ const (
 	SourceIncremental Source = "incremental"
 	SourceCompressed  Source = "compressed"
 	SourceIndexed     Source = "indexed"
+	SourcePartitioned Source = "partitioned"
 	SourceDirect      Source = "direct"
 )
 
@@ -164,6 +173,7 @@ type managed struct {
 	g        *graph.Graph
 	comp     *compress.Compressed            // optional
 	idx      *distindex.Index                // optional landmark distance index
+	part     *partition.Partitioning         // optional edge-cut partitioning
 	matchers map[string]*incremental.Matcher // pattern hash -> matcher
 	queries  map[string]*pattern.Pattern     // pattern hash -> registered pattern
 
@@ -493,6 +503,11 @@ func (e *Engine) evaluate(graphName string, mg *managed, q *pattern.Pattern) (*m
 		// Bound-1 obligations are adjacency scans; the index cannot beat
 		// them, so plain-simulation queries never take the indexed plan.
 		plan = PlanSimulation
+	} else if mg.part != nil && mg.part.Fresh(mg.g) && partitionedWins(q) {
+		// Shallow bounded patterns stay fragment-local: the partitioned
+		// plan parallelizes the whole refinement, where the index only
+		// accelerates individual reachability probes.
+		plan = PlanPartitioned
 	} else if mg.idx != nil && mg.idx.Fresh(mg.g) {
 		plan = PlanIndexed
 	}
@@ -519,10 +534,11 @@ func (e *Engine) evaluate(graphName string, mg *managed, q *pattern.Pattern) (*m
 			return rel, SourceStore, plan
 		}
 	}
-	// The indexed plan answers on the original graph and takes precedence
-	// over compressed routing (the quotient would recompute the balls the
-	// index already paid for).
-	if plan != PlanIndexed && mg.comp != nil && e.compressedUsable(mg.comp, q, plan) {
+	// The indexed and partitioned plans answer on the original graph and
+	// take precedence over compressed routing (the quotient would
+	// recompute the balls they already paid for, and the partitioning
+	// does not describe the quotient).
+	if plan != PlanIndexed && plan != PlanPartitioned && mg.comp != nil && e.compressedUsable(mg.comp, q, plan) {
 		var onQ *match.Relation
 		if plan == PlanSimulation {
 			onQ = simulation.Compute(mg.comp.Graph(), q)
@@ -541,6 +557,17 @@ func (e *Engine) evaluate(graphName string, mg *managed, q *pattern.Pattern) (*m
 	case PlanIndexed:
 		rel = bsim.ComputeIndexedParallel(mg.g, q, mg.idx, e.evalWorkers())
 		source = SourceIndexed
+	case PlanPartitioned:
+		var err error
+		rel, _, err = partition.Eval(mg.g, q, mg.part, partition.Bounded)
+		if err != nil {
+			// Unreachable while routing gates on Fresh under the graph's
+			// lock; answer exactly anyway rather than fail the query.
+			rel = bsim.ComputeParallel(mg.g, q, e.evalWorkers())
+			plan = PlanBounded
+		} else {
+			source = SourcePartitioned
+		}
 	default:
 		rel = bsim.ComputeParallel(mg.g, q, e.evalWorkers())
 	}
@@ -667,6 +694,11 @@ func (e *Engine) applyUpdates(graphName string, ops []incremental.Update) ([]Del
 			if mg.idx != nil {
 				mg.idx.RefreshVersion()
 			}
+			// Same reasoning for the partitioning: the edge set (and so
+			// the boundary bookkeeping) is back to exactly what it was.
+			if mg.part != nil {
+				mg.part.RefreshVersion()
+			}
 			// Log the apply+rollback sequence as one record (best-effort —
 			// the apply error is the one the caller must see). The content
 			// is unchanged, but the rollback re-added edges by APPEND, so
@@ -729,6 +761,13 @@ func (e *Engine) applyUpdates(graphName string, ops []incremental.Update) ([]Del
 		}
 		mg.idx.Sync(iops)
 	}
+	if mg.part != nil {
+		pops := make([]partition.Update, len(ops))
+		for i, op := range ops {
+			pops[i] = partition.Update{Insert: op.Insert, From: op.From, To: op.To}
+		}
+		mg.part.Sync(pops)
+	}
 	// Fan out to live subscriptions last, so their deltas reflect the
 	// same post-update graph every other consumer settled on (dirty
 	// standing queries recompute here — the lazy invalidation path).
@@ -769,6 +808,9 @@ func (e *Engine) AddNode(graphName, label string, attrs graph.Attrs) (graph.Node
 	}
 	if mg.idx != nil {
 		mg.idx.SyncNodeAdded(id)
+	}
+	if mg.part != nil {
+		mg.part.SyncNodeAdded(id)
 	}
 	e.hub.HandleNodeAdded(graphName, mg.g, id)
 	if err := logNode(); err != nil {
@@ -849,6 +891,15 @@ func (e *Engine) RemoveNode(graphName string, id graph.NodeID) error {
 			return fmt.Errorf("engine: sync compressed graph: %w", err)
 		}
 	}
+	if mg.part != nil {
+		// The detach ops clear the node's boundary bookkeeping; the
+		// node itself leaves its fragment below.
+		pops := make([]partition.Update, len(ops))
+		for i, op := range ops {
+			pops[i] = partition.Update{Insert: op.Insert, From: op.From, To: op.To}
+		}
+		mg.part.Sync(pops)
+	}
 	// Phase 2: the node is isolated; clear it everywhere and drop it.
 	for _, m := range mg.matchers {
 		m.SyncNodeRemoving(id)
@@ -869,6 +920,9 @@ func (e *Engine) RemoveNode(graphName string, id graph.NodeID) error {
 	}
 	if mg.comp != nil {
 		mg.comp.RefreshVersion()
+	}
+	if mg.part != nil {
+		mg.part.SyncNodeRemoved(id)
 	}
 	// One record covers the whole removal (incident-edge detach included):
 	// replay re-removes the node wholesale and restores this version.
@@ -916,6 +970,10 @@ func (e *Engine) SetNodeAttr(graphName string, id graph.NodeID, key string, v gr
 	if mg.idx != nil {
 		// Attributes do not affect distances; just follow the version.
 		mg.idx.SyncAttrChanged(id)
+	}
+	if mg.part != nil {
+		// Attributes do not affect ownership either.
+		mg.part.SyncAttrChanged(id)
 	}
 	// Standing queries take the lazy-recompute path (see RemoveNode).
 	e.hub.Invalidate(graphName)

@@ -1,0 +1,98 @@
+package engine
+
+// Partitioned graphs: the engine front-end of internal/partition. A
+// managed graph can carry an edge-cut partitioning; while it is fresh,
+// bounded queries whose pattern radius keeps fragment-local work
+// dominant route through the partition-parallel evaluator
+// (PlanPartitioned), and every mutation path repairs the fragment
+// assignment and ghost sets in place — the same post-apply Sync contract
+// registered queries, compressed views, and the distance index follow.
+//
+// Partitionings are in-memory accelerators, like compressed views: they
+// are not persisted, and after a crash recovery the operator (or a boot
+// script) re-partitions — a rebuild is cheap relative to a WAL replay
+// and always exact.
+
+import (
+	"errors"
+	"fmt"
+
+	"expfinder/internal/partition"
+	"expfinder/internal/pattern"
+)
+
+// ErrNoPartition reports a partition operation on a graph without one.
+var ErrNoPartition = errors.New("engine: no partitioning built")
+
+// partitionRadiusCap bounds the pattern radius the partitioned plan
+// accepts: beyond it (and for unbounded edges) a candidate's ball spans
+// most of the graph, fragment locality stops paying, and the indexed or
+// direct plans serve better.
+const partitionRadiusCap = 4
+
+// PartitionGraph builds (or replaces) the edge-cut partitioning of a
+// graph and returns its stats. opts.Parts <= 0 defaults to the engine's
+// parallelism. The build holds the graph's write lock — queries queue
+// behind it — and is cheap: one streaming pass for assignment plus one
+// edge sweep for the boundary bookkeeping.
+func (e *Engine) PartitionGraph(graphName string, opts partition.Options) (partition.Stats, error) {
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return partition.Stats{}, err
+	}
+	if opts.Parts <= 0 {
+		opts.Parts = e.par
+	}
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
+	pt, err := partition.Partition(mg.g, opts)
+	if err != nil {
+		return partition.Stats{}, err
+	}
+	mg.part = pt
+	return pt.Stats(), nil
+}
+
+// DropPartitions removes the partitioning.
+func (e *Engine) DropPartitions(graphName string) error {
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return err
+	}
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
+	if mg.part == nil {
+		return fmt.Errorf("%w: %q", ErrNoPartition, graphName)
+	}
+	mg.part = nil
+	return nil
+}
+
+// PartitionStats returns the partitioning's stats (fragment sizes, cut
+// edges, ghost counts, cumulative evaluator exchange volume), or
+// ErrNoPartition.
+func (e *Engine) PartitionStats(graphName string) (partition.Stats, error) {
+	mg, err := e.lookup(graphName)
+	if err != nil {
+		return partition.Stats{}, err
+	}
+	mg.mu.RLock()
+	defer mg.mu.RUnlock()
+	if mg.part == nil {
+		return partition.Stats{}, fmt.Errorf("%w: %q", ErrNoPartition, graphName)
+	}
+	return mg.part.Stats(), nil
+}
+
+// partitionedWins reports whether the partitioned plan should take q:
+// every ball the evaluator walks has radius <= the pattern's largest
+// bound, so shallow bounded patterns stay fragment-local while deep or
+// unbounded ones would turn every removal into a graph-wide walk with a
+// boundary message per remote member.
+func partitionedWins(q *pattern.Pattern) bool {
+	if q.IsPlainSimulation() {
+		return false // the quadratic simulation plan is strictly cheaper
+	}
+	maxBound, hasUnbounded := q.MaxBound()
+	return !hasUnbounded && maxBound <= partitionRadiusCap
+}

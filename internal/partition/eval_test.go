@@ -1,0 +1,134 @@
+package partition
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"expfinder/internal/bsim"
+	"expfinder/internal/dataset"
+	"expfinder/internal/strongsim"
+	"expfinder/internal/testutil"
+)
+
+// TestEvalMatchesSerialProperty is the subsystem's central contract: for
+// random graphs, random patterns, and random fragment counts — P=1 and
+// P far beyond the node count included — the partition-parallel result
+// is byte-identical to the serial bsim / strongsim.Dual result.
+func TestEvalMatchesSerialProperty(t *testing.T) {
+	f := func(seed int64, pRaw uint8, greedy bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		g := testutil.RandomGraph(r, n, 3*n)
+		q := testutil.RandomPattern(r, 2+r.Intn(3))
+		parts := 1 + int(pRaw%12)
+		if pRaw%7 == 0 {
+			parts = n + 5 // more fragments than nodes
+		}
+		strat := StrategyHash
+		if greedy {
+			strat = StrategyGreedy
+		}
+		pt, err := Partition(g, Options{Parts: parts, Strategy: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotB, _, err := Eval(g, q, pt, Bounded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotB.String() != bsim.Compute(g, q).String() {
+			t.Logf("seed=%d parts=%d strat=%s: bounded diverged", seed, parts, strat)
+			return false
+		}
+		gotD, _, err := Eval(g, q, pt, Dual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotD.String() != strongsim.Dual(g, q).String() {
+			t.Logf("seed=%d parts=%d strat=%s: dual diverged", seed, parts, strat)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if testing.Short() {
+		cfg.MaxCount = 15
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvalPaperDataset pins the flagship Fig. 1 example across fragment
+// counts.
+func TestEvalPaperDataset(t *testing.T) {
+	g, _ := dataset.PaperGraph()
+	q := dataset.PaperQuery()
+	want := bsim.Compute(g, q).String()
+	for parts := 1; parts <= 5; parts++ {
+		pt, err := Partition(g, Options{Parts: parts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, st, err := Eval(g, q, pt, Bounded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel.String() != want {
+			t.Fatalf("parts=%d: relation %s, want %s", parts, rel, want)
+		}
+		if parts == 1 && st.Messages != 0 {
+			t.Fatalf("P=1 exchanged %d boundary messages", st.Messages)
+		}
+	}
+}
+
+// TestEvalStatsDeterministic: the exchange volume is a function of the
+// inputs, not of goroutine scheduling — every removal cascades exactly
+// once, so two runs must report identical counters.
+func TestEvalStatsDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	g := testutil.RandomGraph(r, 200, 700)
+	q := testutil.RandomPattern(r, 3)
+	pt, err := Partition(g, Options{Parts: 6, Strategy: StrategyHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st1, err := Eval(g, q, pt, Bounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st2, err := Eval(g, q, pt, Bounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 != st2 {
+		t.Fatalf("stats diverged across runs: %+v vs %+v", st1, st2)
+	}
+	if got := pt.Stats(); got.Evals != 2 || got.Messages != int64(st1.Messages)*2 {
+		t.Fatalf("cumulative counters = %+v, want 2 evals and %d messages", got, st1.Messages*2)
+	}
+}
+
+// TestEvalStale: a partitioning over another graph, or one that has not
+// been synced past a node addition, must refuse rather than evaluate
+// with a short owner table.
+func TestEvalStale(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := testutil.RandomGraph(r, 10, 20)
+	other := testutil.RandomGraph(r, 10, 20)
+	q := testutil.RandomPattern(r, 2)
+	pt, err := Partition(g, Options{Parts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Eval(other, q, pt, Bounded); !errors.Is(err, ErrStale) {
+		t.Fatalf("cross-graph eval error = %v", err)
+	}
+	g.AddNode("SA", nil) // not synced: owner table no longer covers MaxID
+	if _, _, err := Eval(g, q, pt, Bounded); !errors.Is(err, ErrStale) {
+		t.Fatalf("uncovered eval error = %v", err)
+	}
+}

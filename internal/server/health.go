@@ -1,0 +1,52 @@
+package server
+
+// Health/readiness endpoint for load balancers and orchestrators. The
+// server is constructed after boot-time recovery completes, so /healthz
+// answering at all means the engine is serving; the body carries the
+// recovery outcome so an operator (or a rollout gate) can distinguish
+// "up" from "up, but graph X failed to recover".
+
+import (
+	"net/http"
+
+	"expfinder/internal/engine"
+)
+
+// SetRecoverySummary attaches the boot-time recovery outcome for
+// /healthz to report. Call it before the server starts serving (it is
+// read without synchronization afterwards); servers without persistence
+// skip it.
+func (s *Server) SetRecoverySummary(sum *engine.RecoverySummary) { s.recovery = sum }
+
+// healthBody is the /healthz response.
+type healthBody struct {
+	Status string `json:"status"` // always "ok" when the handler answers
+	// Ready reports the server finished booting: recovery (if any) ran
+	// to completion before serving started.
+	Ready  bool `json:"ready"`
+	Graphs int  `json:"graphs"`
+	// Persistence reports whether a write-ahead log is attached.
+	Persistence bool `json:"persistence"`
+	// RecoveryComplete is true when persistence is off (nothing to
+	// recover) or boot recovery ran; RecoveryFailed counts graphs whose
+	// recovery errored (their files are on disk, they are not serving).
+	RecoveryComplete bool `json:"recovery_complete"`
+	RecoveryFailed   int  `json:"recovery_failed"`
+	// Recovery carries the per-graph summaries when recovery ran.
+	Recovery []engine.GraphRecovery `json:"recovery,omitempty"`
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	body := healthBody{
+		Status:      "ok",
+		Ready:       true,
+		Graphs:      len(s.eng.ListGraphs()),
+		Persistence: s.eng.PersistenceEnabled(),
+	}
+	body.RecoveryComplete = !body.Persistence || s.recovery != nil
+	if s.recovery != nil {
+		body.Recovery = s.recovery.Graphs
+		body.RecoveryFailed = len(s.recovery.Failed())
+	}
+	writeJSON(w, http.StatusOK, body)
+}

@@ -1,0 +1,61 @@
+package server
+
+// Partition endpoints: build, inspect, and drop the edge-cut
+// partitioning of a managed graph. While a partitioning is fresh, the
+// engine routes shallow bounded queries through the partition-parallel
+// plan automatically; the stats expose fragment balance, cut edges,
+// ghost counts, and the cumulative boundary-exchange volume.
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"expfinder/internal/partition"
+)
+
+// partitionRequest configures a partition build.
+type partitionRequest struct {
+	// Parts is the fragment count; 0 (or absent) means the engine's
+	// parallelism.
+	Parts int `json:"parts"`
+	// Strategy is "greedy" (default: locality-aware, fewer cut edges)
+	// or "hash" (stateless, perfectly balanced).
+	Strategy string `json:"strategy,omitempty"`
+}
+
+func (s *Server) buildPartitions(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req partitionRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.eng.PartitionGraph(name, partition.Options{
+		Parts:    req.Parts,
+		Strategy: partition.Strategy(req.Strategy),
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) partitionStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.eng.PartitionStats(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) dropPartitions(w http.ResponseWriter, r *http.Request) {
+	if err := s.eng.DropPartitions(r.PathValue("name")); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

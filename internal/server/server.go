@@ -34,6 +34,9 @@ import (
 type Server struct {
 	eng *engine.Engine
 	mux *http.ServeMux
+	// recovery is the boot-time recovery summary /healthz reports; set
+	// once via SetRecoverySummary before serving, nil without one.
+	recovery *engine.RecoverySummary
 }
 
 // New returns a server over the given engine.
@@ -56,6 +59,9 @@ func New(eng *engine.Engine) *Server {
 	s.mux.HandleFunc("POST /api/graphs/{name}/index", s.buildIndex)
 	s.mux.HandleFunc("GET /api/graphs/{name}/index", s.indexStats)
 	s.mux.HandleFunc("DELETE /api/graphs/{name}/index", s.dropIndex)
+	s.mux.HandleFunc("POST /api/graphs/{name}/partitions", s.buildPartitions)
+	s.mux.HandleFunc("GET /api/graphs/{name}/partitions", s.partitionStats)
+	s.mux.HandleFunc("DELETE /api/graphs/{name}/partitions", s.dropPartitions)
 	s.mux.HandleFunc("POST /api/graphs/{name}/register", s.registerQuery)
 	s.mux.HandleFunc("POST /api/graphs/{name}/subscriptions", s.createSubscription)
 	s.mux.HandleFunc("GET /api/graphs/{name}/subscriptions", s.listSubscriptions)
@@ -65,6 +71,7 @@ func New(eng *engine.Engine) *Server {
 	s.mux.HandleFunc("GET /api/cache/stats", s.cacheStats)
 	s.mux.HandleFunc("GET /api/admin/persistence", s.persistenceStats)
 	s.mux.HandleFunc("POST /api/admin/persistence/checkpoint", s.forceCheckpoint)
+	s.mux.HandleFunc("GET /healthz", s.healthz)
 	return s
 }
 
@@ -88,7 +95,8 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 // statusFor maps engine errors to HTTP statuses.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, engine.ErrNoGraph), errors.Is(err, engine.ErrNoIndex):
+	case errors.Is(err, engine.ErrNoGraph), errors.Is(err, engine.ErrNoIndex),
+		errors.Is(err, engine.ErrNoPartition):
 		return http.StatusNotFound
 	case errors.Is(err, engine.ErrGraphExists), errors.Is(err, wal.ErrExists):
 		return http.StatusConflict
@@ -215,6 +223,9 @@ func (s *Server) graphStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if ixStats, err := s.eng.IndexStats(name); err == nil {
 		body["index"] = ixStats
+	}
+	if ptStats, err := s.eng.PartitionStats(name); err == nil {
+		body["partitions"] = ptStats
 	}
 	writeJSON(w, http.StatusOK, body)
 }
