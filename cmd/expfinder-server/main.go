@@ -6,6 +6,9 @@
 //
 //	expfinder-server [-addr :8080] [-store DIR] [-demo]
 //	                 [-data-dir DIR] [-fsync always|interval|off]
+//	                 [-auth-token TOKEN] [-rate-limit N] [-rate-burst N]
+//	                 [-max-inflight N] [-max-queue N] [-request-timeout D]
+//	                 [-cache-bytes N]
 //
 // With -data-dir set, every graph mutation is durable: mutations append
 // to a per-graph write-ahead log under DIR, a background checkpointer
@@ -13,38 +16,49 @@
 // persisted graph — content, node ids, and version — before serving.
 // -fsync selects the durability/throughput trade-off (default interval).
 //
-// API overview:
+// Serving-tier guardrails (all optional): -auth-token requires a bearer
+// token on every API route, -rate-limit enforces a per-client
+// token-bucket rate (req/s), and admission control (-max-inflight,
+// -max-queue, -request-timeout) sheds excess load with 503 +
+// Retry-After before the engine's worker pool saturates. Non-2xx
+// responses carry the uniform envelope
+// {"error":{"code","message","details"}} with stable machine-readable
+// codes.
 //
-//	GET    /api/graphs                      list graphs
-//	POST   /api/graphs/{name}               upload {"graph": ...} or {"generator": {...}}
-//	GET    /api/graphs/{name}               download graph JSON
-//	DELETE /api/graphs/{name}               remove graph
-//	GET    /api/graphs/{name}/stats         statistics
-//	GET    /api/graphs/{name}/dot           Graphviz export (?drilldown=1)
-//	POST   /api/graphs/{name}/query         {"dsl": "...", "k": 5, "semantics": "bounded|dual"} (?dot=1)
-//	POST   /api/graphs/{name}/register      register query for incremental maintenance
-//	POST   /api/graphs/{name}/updates       {"ops": [{"op":"insert","from":1,"to":2}]}
-//	POST   /api/graphs/{name}/nodes         {"label": "SA", "attrs": {...}}
-//	DELETE /api/graphs/{name}/nodes/{id}    remove node (+ incident edges)
-//	POST   /api/graphs/{name}/nodes/{id}/attrs   {"experience": {"kind":"int","i":9}}
-//	POST   /api/graphs/{name}/compress      {"scheme": "bisimulation", "view": ["experience"]}
-//	DELETE /api/graphs/{name}/compress      drop compression
-//	POST   /api/graphs/{name}/index         build landmark distance index ({"landmarks": k})
-//	GET    /api/graphs/{name}/index         index stats
-//	DELETE /api/graphs/{name}/index         drop index
-//	POST   /api/graphs/{name}/partitions    build edge-cut partitioning ({"parts": P, "strategy": "greedy|hash"})
-//	GET    /api/graphs/{name}/partitions    partition stats (fragments, cut edges, exchange volume)
-//	DELETE /api/graphs/{name}/partitions    drop partitioning
-//	POST   /api/query/batch                 {"queries": [{"graph": ..., "dsl": ..., "k": 5}, ...]}
-//	POST   /api/graphs/{name}/subscriptions      register a continuous query ({"dsl": ..., "k": 5})
-//	GET    /api/graphs/{name}/subscriptions      list subscriptions
-//	DELETE /api/graphs/{name}/subscriptions/{id} cancel a subscription
-//	GET    /api/graphs/{name}/subscriptions/{id}/events  SSE stream of snapshot + match deltas
-//	GET    /api/subscriptions/stats         subscription-hub counters
-//	GET    /api/cache/stats                 result-cache counters
-//	GET    /api/admin/persistence           durability stats (WAL sizes, snapshots)
-//	POST   /api/admin/persistence/checkpoint  force a checkpoint ({"graph": ...} or all)
-//	GET    /healthz                         readiness + boot recovery summary (for load balancers)
+// API overview (current surface, mounted at /api/v1; the legacy /api/*
+// paths serve the same handlers and answer with a Deprecation header):
+//
+//	GET    /api/v1/graphs                      list graphs
+//	POST   /api/v1/graphs/{name}               upload {"graph": ...} or {"generator": {...}}
+//	GET    /api/v1/graphs/{name}               download graph JSON
+//	DELETE /api/v1/graphs/{name}               remove graph
+//	GET    /api/v1/graphs/{name}/stats         statistics
+//	GET    /api/v1/graphs/{name}/dot           Graphviz export (?drilldown=1)
+//	POST   /api/v1/graphs/{name}/query         {"dsl": "...", "k": 5, "semantics": "bounded|dual"} (?dot=1)
+//	POST   /api/v1/graphs/{name}/register      register query for incremental maintenance
+//	POST   /api/v1/graphs/{name}/updates       {"ops": [{"op":"insert","from":1,"to":2}]}
+//	POST   /api/v1/graphs/{name}/nodes         {"label": "SA", "attrs": {...}}
+//	DELETE /api/v1/graphs/{name}/nodes/{id}    remove node (+ incident edges)
+//	POST   /api/v1/graphs/{name}/nodes/{id}/attrs   {"experience": {"kind":"int","i":9}}
+//	POST   /api/v1/graphs/{name}/compress      {"scheme": "bisimulation", "view": ["experience"]}
+//	DELETE /api/v1/graphs/{name}/compress      drop compression
+//	POST   /api/v1/graphs/{name}/index         build landmark distance index ({"landmarks": k})
+//	GET    /api/v1/graphs/{name}/index         index stats
+//	DELETE /api/v1/graphs/{name}/index         drop index
+//	POST   /api/v1/graphs/{name}/partitions    build edge-cut partitioning ({"parts": P, "strategy": "greedy|hash"})
+//	GET    /api/v1/graphs/{name}/partitions    partition stats (fragments, cut edges, exchange volume)
+//	DELETE /api/v1/graphs/{name}/partitions    drop partitioning
+//	POST   /api/v1/query/batch                 {"queries": [{"graph": ..., "dsl": ..., "k": 5}, ...]}
+//	POST   /api/v1/graphs/{name}/subscriptions      register a continuous query ({"dsl": ..., "k": 5})
+//	GET    /api/v1/graphs/{name}/subscriptions      list subscriptions
+//	DELETE /api/v1/graphs/{name}/subscriptions/{id} cancel a subscription
+//	GET    /api/v1/graphs/{name}/subscriptions/{id}/events  SSE stream of snapshot + match deltas
+//	GET    /api/v1/subscriptions/stats         subscription-hub counters
+//	GET    /api/v1/cache/stats                 result-cache counters (byte-budgeted LRU)
+//	GET    /api/v1/admin/persistence           durability stats (WAL sizes, snapshots)
+//	POST   /api/v1/admin/persistence/checkpoint  force a checkpoint ({"graph": ...} or all)
+//	GET    /healthz                            readiness + boot recovery summary (no auth)
+//	GET    /metrics                            Prometheus-style metrics (no auth)
 package main
 
 import (
@@ -70,13 +84,20 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	storeDir := flag.String("store", "", "preload graphs from this store directory")
 	demo := flag.Bool("demo", true, "preload the paper's Fig. 1 dataset as graph \"paper\"")
-	cacheSize := flag.Int("cache", 256, "result cache capacity")
+	cacheSize := flag.Int("cache", 256, "result-graph/ranking memo capacity (entries)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache byte budget (relation-size accounted)")
 	parallelism := flag.Int("parallelism", 0, "max concurrent query executions (0 = GOMAXPROCS)")
 	dataDir := flag.String("data-dir", "", "enable durable persistence (per-graph WAL + snapshots) rooted here")
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: always | interval | off")
+	authToken := flag.String("auth-token", "", "require this bearer token on all API routes (empty = open)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client request rate limit in req/s (0 = off)")
+	rateBurst := flag.Int("rate-burst", 0, "rate-limit burst size (0 = one second of rate)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing requests (0 = GOMAXPROCS, negative = no admission control)")
+	maxQueue := flag.Int("max-queue", 0, "max requests queued for an execution slot before shedding with 503 (0 = 4x max-inflight)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline propagated into the engine (0 = none)")
 	flag.Parse()
 
-	opts := engine.Options{CacheSize: *cacheSize, Parallelism: *parallelism}
+	opts := engine.Options{CacheSize: *cacheSize, CacheBytes: *cacheBytes, Parallelism: *parallelism}
 	if *dataDir != "" {
 		policy, err := wal.ParseFsyncPolicy(*fsync)
 		if err != nil {
@@ -156,13 +177,21 @@ func main() {
 		}
 	}
 
-	api := server.New(eng)
+	api := server.New(eng, server.Config{
+		AuthToken:      *authToken,
+		RateLimit:      *rateLimit,
+		RateBurst:      *rateBurst,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		RequestTimeout: *requestTimeout,
+		Logger:         log.Default(),
+	})
 	// /healthz reports the boot recovery outcome; readiness is implied by
 	// serving at all (recovery completed above, before the listener).
 	api.SetRecoverySummary(recovery)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logging(api),
+		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -210,19 +239,4 @@ func main() {
 	if opts.Persistence != nil {
 		log.Printf("persistence flushed and closed (%s)", opts.Persistence.Dir())
 	}
-}
-
-// logging is a minimal request logger. Health probes are exempt: a load
-// balancer polling /healthz every few seconds would drown real request
-// logs in identical lines.
-func logging(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" {
-			next.ServeHTTP(w, r)
-			return
-		}
-		start := time.Now()
-		next.ServeHTTP(w, r)
-		log.Printf("%s %s (%s)", r.Method, r.URL.Path, time.Since(start))
-	})
 }

@@ -1,0 +1,231 @@
+// Package api defines the versioned wire contract of the ExpFinder HTTP
+// surface: typed request/response DTOs for every /api/v1 endpoint plus
+// the uniform JSON error envelope with stable, machine-readable error
+// codes. internal/server renders exclusively through these types, and
+// the legacy /api/* aliases reuse the same handlers, so the two
+// surfaces cannot drift apart. Endpoints that expose a subsystem's own
+// Stats struct (index, partitions, persistence, subscriptions) pass it
+// through verbatim; this package types everything whose shape the API
+// itself owns.
+package api
+
+import (
+	"encoding/json"
+
+	"expfinder/internal/graph"
+)
+
+// Version is the current API version prefix.
+const Version = "v1"
+
+// Prefix is the mount point of the current API surface; LegacyPrefix is
+// the pre-v1 mount point kept alive as deprecated aliases.
+const (
+	Prefix       = "/api/v1"
+	LegacyPrefix = "/api"
+)
+
+// GraphSummary is one entry of the graph listing.
+type GraphSummary struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+}
+
+// GeneratorSpec asks the server to generate a synthetic graph.
+type GeneratorSpec struct {
+	Kind      string  `json:"kind"`
+	Nodes     int     `json:"nodes"`
+	AvgDegree float64 `json:"avg_degree"`
+	Seed      int64   `json:"seed"`
+}
+
+// CreateGraphRequest uploads a graph directly or asks for a generated
+// one; exactly one of Graph and Generator must be set.
+type CreateGraphRequest struct {
+	// Graph, when set, is a full graph in the standard JSON form.
+	Graph json.RawMessage `json:"graph,omitempty"`
+	// Generator, when set, generates a synthetic graph instead.
+	Generator *GeneratorSpec `json:"generator,omitempty"`
+}
+
+// CreateGraphResponse acknowledges a created graph.
+type CreateGraphResponse struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+}
+
+// QueryRequest carries a pattern in JSON form or DSL text, plus K and an
+// optional matching semantics ("bounded" default, or "dual": additionally
+// enforce ancestor obligations).
+type QueryRequest struct {
+	Pattern   json.RawMessage `json:"pattern,omitempty"`
+	DSL       string          `json:"dsl,omitempty"`
+	K         int             `json:"k"`
+	Semantics string          `json:"semantics,omitempty"`
+	// Metric selects the ranking: avg-distance (default), closeness,
+	// degree, or pagerank.
+	Metric string `json:"metric,omitempty"`
+}
+
+// TopEntry is one ranked expert of a query answer.
+type TopEntry struct {
+	Node      int64   `json:"node"`
+	Name      string  `json:"name,omitempty"`
+	Rank      float64 `json:"rank"`
+	Connected int     `json:"connected"`
+}
+
+// QueryResponse is the full query answer.
+type QueryResponse struct {
+	Plan      string             `json:"plan"`
+	Source    string             `json:"source"`
+	ElapsedUS int64              `json:"elapsed_us"`
+	Matches   map[string][]int64 `json:"matches"`
+	TopK      []TopEntry         `json:"top_k"`
+	ResultDOT string             `json:"result_dot,omitempty"`
+}
+
+// BatchQuery is one query of a batch request: a target graph plus the
+// single-endpoint pattern/DSL, K, and metric fields (bounded semantics
+// only — dual simulation has no engine pipeline to dispatch through).
+type BatchQuery struct {
+	Graph   string          `json:"graph"`
+	Pattern json.RawMessage `json:"pattern,omitempty"`
+	DSL     string          `json:"dsl,omitempty"`
+	K       int             `json:"k"`
+	Metric  string          `json:"metric,omitempty"`
+}
+
+// BatchRequest evaluates many queries in one request.
+type BatchRequest struct {
+	Queries []BatchQuery `json:"queries"`
+}
+
+// BatchEntry is one outcome of a batch: either Error or the embedded
+// response. A failed query never fails the batch.
+type BatchEntry struct {
+	QueryResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse returns batch outcomes in request order.
+type BatchResponse struct {
+	Results []BatchEntry `json:"results"`
+}
+
+// UpdateOp is one edge mutation.
+type UpdateOp struct {
+	Op   string `json:"op"` // "insert" | "delete"
+	From int64  `json:"from"`
+	To   int64  `json:"to"`
+}
+
+// UpdateRequest applies a batch of edge updates.
+type UpdateRequest struct {
+	Ops []UpdateOp `json:"ops"`
+}
+
+// DeltaSummary reports how one registered query's matches changed.
+type DeltaSummary struct {
+	PatternHash string `json:"pattern_hash"`
+	Added       int    `json:"added"`
+	Removed     int    `json:"removed"`
+}
+
+// UpdateResponse acknowledges an applied update batch.
+type UpdateResponse struct {
+	Applied int            `json:"applied"`
+	Deltas  []DeltaSummary `json:"deltas"`
+	// Notified is how many live subscriptions were handed a match delta.
+	Notified int `json:"notified"`
+}
+
+// AddNodeRequest creates one node.
+type AddNodeRequest struct {
+	Label string                 `json:"label"`
+	Attrs map[string]graph.Value `json:"attrs,omitempty"`
+}
+
+// AddNodeResponse returns the id of a created node.
+type AddNodeResponse struct {
+	ID int64 `json:"id"`
+}
+
+// RegisterResponse acknowledges a query registered for incremental
+// maintenance.
+type RegisterResponse struct {
+	Registered string `json:"registered"` // pattern hash
+}
+
+// CompressRequest selects a compression scheme and attribute view.
+type CompressRequest struct {
+	Scheme string   `json:"scheme"` // "bisimulation" (default) | "simulation-equivalence"
+	View   []string `json:"view,omitempty"`
+	// FullView distinguishes all attributes (ignores View).
+	FullView bool `json:"full_view,omitempty"`
+}
+
+// CompressResponse reports the built quotient.
+type CompressResponse struct {
+	Scheme string  `json:"scheme"`
+	Nodes  int     `json:"nodes"`
+	Edges  int     `json:"edges"`
+	Ratio  float64 `json:"ratio"`
+}
+
+// IndexRequest configures a distance-index build.
+type IndexRequest struct {
+	// Landmarks caps the landmark count; 0 (or absent) indexes every
+	// node, making all bounded-reachability answers label-only.
+	Landmarks int `json:"landmarks"`
+}
+
+// PartitionRequest configures a partition build.
+type PartitionRequest struct {
+	// Parts is the fragment count; 0 (or absent) means the engine's
+	// parallelism.
+	Parts int `json:"parts"`
+	// Strategy is "greedy" (default: locality-aware, fewer cut edges)
+	// or "hash" (stateless, perfectly balanced).
+	Strategy string `json:"strategy,omitempty"`
+}
+
+// SubscribeRequest registers a standing query.
+type SubscribeRequest struct {
+	Pattern json.RawMessage `json:"pattern,omitempty"`
+	DSL     string          `json:"dsl,omitempty"`
+	// K re-ranks the top-K experts on every event (0 disables ranking).
+	K int `json:"k"`
+	// Buffer bounds unconsumed events (0 = default); overflow collapses
+	// the backlog into one resync snapshot.
+	Buffer int `json:"buffer"`
+	// NoCoalesce preserves every delta instead of merging bursts.
+	NoCoalesce bool `json:"no_coalesce"`
+}
+
+// SubscribeResponse acknowledges a created subscription.
+type SubscribeResponse struct {
+	ID          string `json:"id"`
+	PatternHash string `json:"pattern_hash"`
+	EventsURL   string `json:"events_url"`
+}
+
+// CacheStatsResponse reports the byte-budgeted result cache's counters.
+type CacheStatsResponse struct {
+	Hits      int `json:"hits"`
+	Misses    int `json:"misses"`
+	Evictions int `json:"evictions"`
+	Entries   int `json:"entries"`
+	// Bytes is the accounted size of all cached relations; BudgetBytes
+	// is the eviction threshold.
+	Bytes       int64 `json:"bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
+}
+
+// CheckpointRequest selects what to checkpoint; an absent/empty graph
+// name means every managed graph.
+type CheckpointRequest struct {
+	Graph string `json:"graph,omitempty"`
+}

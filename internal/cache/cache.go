@@ -1,8 +1,11 @@
 // Package cache provides the query-result cache of ExpFinder's query
 // engine: results keyed by (graph identity, graph version, pattern hash)
-// with LRU eviction. A cached entry is valid only while the graph version
-// matches, so updates applied outside the incremental machinery silently
-// invalidate stale results.
+// with LRU eviction under a byte budget. Entries are charged by the
+// approximate heap footprint of their match relation (see
+// match.Relation.ApproxBytes), so one enormous result cannot masquerade
+// as cheap the way it could under entry-count accounting. A cached entry
+// is valid only while the graph version matches, so updates applied
+// outside the incremental machinery silently invalidate stale results.
 package cache
 
 import (
@@ -23,37 +26,52 @@ type Key struct {
 	PatternHash  string
 }
 
-// Stats reports cache effectiveness.
+// Stats reports cache effectiveness and occupancy.
 type Stats struct {
 	Hits, Misses, Evictions int
 	Entries                 int
+	// Bytes is the accounted footprint of all resident relations;
+	// BudgetBytes is the eviction threshold.
+	Bytes       int64
+	BudgetBytes int64
 }
 
-// Cache is a fixed-capacity LRU of query results, safe for concurrent use.
+// DefaultBudget is the byte budget used when a caller passes a
+// non-positive one: 64 MiB, roughly the footprint of a few hundred
+// mid-size match relations.
+const DefaultBudget int64 = 64 << 20
+
+// Cache is a byte-budgeted LRU of query results, safe for concurrent
+// use. The newest entry is always admitted — even one larger than the
+// whole budget — so a hot oversized result still short-circuits its
+// recomputation; it is simply the first casualty of the next insert.
 type Cache struct {
-	mu       sync.Mutex
-	capacity int
-	ll       *list.List
-	items    map[Key]*list.Element
-	hits     int
-	misses   int
-	evicted  int
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	ll      *list.List
+	items   map[Key]*list.Element
+	hits    int
+	misses  int
+	evicted int
 }
 
 type entry struct {
-	key Key
-	rel *match.Relation
+	key   Key
+	rel   *match.Relation
+	bytes int64
 }
 
-// New returns a cache holding up to capacity results (minimum 1).
-func New(capacity int) *Cache {
-	if capacity < 1 {
-		capacity = 1
+// New returns a cache evicting LRU-first once the accounted relation
+// bytes exceed budgetBytes (DefaultBudget if non-positive).
+func New(budgetBytes int64) *Cache {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultBudget
 	}
 	return &Cache{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    map[Key]*list.Element{},
+		budget: budgetBytes,
+		ll:     list.New(),
+		items:  map[Key]*list.Element{},
 	}
 }
 
@@ -72,22 +90,37 @@ func (c *Cache) Get(key Key) (*match.Relation, bool) {
 	return el.Value.(*entry).rel.Clone(), true
 }
 
-// Put stores a clone of the relation under key, evicting the least
-// recently used entry if over capacity.
+// Put stores a clone of the relation under key, evicting least recently
+// used entries until the byte budget holds again. The entry just stored
+// is never evicted by its own insert.
 func (c *Cache) Put(key Key, rel *match.Relation) {
+	clone := rel.Clone()
+	size := clone.ApproxBytes()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*entry).rel = rel.Clone()
+		en := el.Value.(*entry)
+		c.bytes += size - en.bytes
+		en.rel, en.bytes = clone, size
 		c.ll.MoveToFront(el)
+		c.evictOver()
 		return
 	}
-	el := c.ll.PushFront(&entry{key: key, rel: rel.Clone()})
+	el := c.ll.PushFront(&entry{key: key, rel: clone, bytes: size})
 	c.items[key] = el
-	for c.ll.Len() > c.capacity {
+	c.bytes += size
+	c.evictOver()
+}
+
+// evictOver drops LRU entries while over budget, sparing the newest.
+// Callers hold c.mu.
+func (c *Cache) evictOver() {
+	for c.bytes > c.budget && c.ll.Len() > 1 {
 		oldest := c.ll.Back()
+		en := oldest.Value.(*entry)
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*entry).key)
+		delete(c.items, en.key)
+		c.bytes -= en.bytes
 		c.evicted++
 	}
 }
@@ -99,9 +132,10 @@ func (c *Cache) InvalidateGraph(graphName string) {
 	defer c.mu.Unlock()
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
-		if el.Value.(*entry).key.GraphName == graphName {
+		if en := el.Value.(*entry); en.key.GraphName == graphName {
 			c.ll.Remove(el)
-			delete(c.items, el.Value.(*entry).key)
+			delete(c.items, en.key)
+			c.bytes -= en.bytes
 		}
 		el = next
 	}
@@ -114,9 +148,19 @@ func (c *Cache) Len() int {
 	return c.ll.Len()
 }
 
+// Bytes returns the accounted footprint of all resident relations.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
 // Stats returns a snapshot of cache counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, Evictions: c.evicted, Entries: c.ll.Len()}
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evicted,
+		Entries: c.ll.Len(), Bytes: c.bytes, BudgetBytes: c.budget,
+	}
 }

@@ -17,8 +17,12 @@ func rel(pairs ...int) *match.Relation {
 	return r
 }
 
+// budgetFor returns a byte budget that fits exactly n single-pair
+// relations as built by rel(...).
+func budgetFor(n int) int64 { return int64(n) * rel(1).ApproxBytes() }
+
 func TestGetPut(t *testing.T) {
-	c := New(4)
+	c := New(budgetFor(4))
 	k := Key{GraphName: "g", GraphVersion: 1, PatternHash: "h"}
 	if _, ok := c.Get(k); ok {
 		t.Fatal("empty cache returned a hit")
@@ -32,10 +36,16 @@ func TestGetPut(t *testing.T) {
 	if st.Hits != 1 || st.Misses != 1 {
 		t.Errorf("stats = %+v", st)
 	}
+	if st.Bytes != rel(1, 2).ApproxBytes() {
+		t.Errorf("bytes = %d, want %d", st.Bytes, rel(1, 2).ApproxBytes())
+	}
+	if st.BudgetBytes != budgetFor(4) {
+		t.Errorf("budget = %d, want %d", st.BudgetBytes, budgetFor(4))
+	}
 }
 
 func TestVersionedKeysDistinct(t *testing.T) {
-	c := New(4)
+	c := New(budgetFor(4))
 	k1 := Key{GraphName: "g", GraphVersion: 1, PatternHash: "h"}
 	k2 := Key{GraphName: "g", GraphVersion: 2, PatternHash: "h"}
 	c.Put(k1, rel(1))
@@ -45,7 +55,7 @@ func TestVersionedKeysDistinct(t *testing.T) {
 }
 
 func TestClonesProtectEntries(t *testing.T) {
-	c := New(2)
+	c := New(budgetFor(2))
 	k := Key{GraphName: "g", GraphVersion: 1, PatternHash: "h"}
 	original := rel(1)
 	c.Put(k, original)
@@ -61,8 +71,8 @@ func TestClonesProtectEntries(t *testing.T) {
 	}
 }
 
-func TestLRUEviction(t *testing.T) {
-	c := New(2)
+func TestLRUEvictionUnderByteBudget(t *testing.T) {
+	c := New(budgetFor(2))
 	k := func(i int) Key { return Key{GraphName: "g", GraphVersion: uint64(i), PatternHash: "h"} }
 	c.Put(k(1), rel(1))
 	c.Put(k(2), rel(2))
@@ -82,8 +92,42 @@ func TestLRUEviction(t *testing.T) {
 	}
 }
 
+func TestLargeEntryEvictsManySmall(t *testing.T) {
+	c := New(budgetFor(4))
+	k := func(i int) Key { return Key{GraphName: "g", GraphVersion: uint64(i), PatternHash: "h"} }
+	for i := 1; i <= 4; i++ {
+		c.Put(k(i), rel(i))
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	// One relation worth ~4 single-pair entries displaces all but itself.
+	c.Put(k(5), rel(10, 11, 12, 13, 14, 15, 16, 17, 18))
+	if c.Len() != 1 {
+		t.Errorf("Len after oversized insert = %d, want 1", c.Len())
+	}
+	if _, ok := c.Get(k(5)); !ok {
+		t.Error("newest entry must survive its own insert")
+	}
+	if c.Bytes() > budgetFor(4)+rel(1).ApproxBytes()*16 {
+		t.Errorf("bytes accounting off: %d", c.Bytes())
+	}
+}
+
+func TestOversizedEntryStillAdmitted(t *testing.T) {
+	c := New(1) // 1-byte budget: everything is oversized
+	k := Key{GraphName: "g", GraphVersion: 1, PatternHash: "h"}
+	c.Put(k, rel(1, 2, 3))
+	if _, ok := c.Get(k); !ok {
+		t.Error("newest entry must be admitted even over budget")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
 func TestPutSameKeyReplaces(t *testing.T) {
-	c := New(2)
+	c := New(budgetFor(8))
 	k := Key{GraphName: "g", GraphVersion: 1, PatternHash: "h"}
 	c.Put(k, rel(1))
 	c.Put(k, rel(1, 2, 3))
@@ -94,17 +138,24 @@ func TestPutSameKeyReplaces(t *testing.T) {
 	if c.Len() != 1 {
 		t.Errorf("Len = %d, want 1", c.Len())
 	}
+	if c.Bytes() != rel(1, 2, 3).ApproxBytes() {
+		t.Errorf("bytes after replace = %d, want %d", c.Bytes(), rel(1, 2, 3).ApproxBytes())
+	}
 }
 
 func TestInvalidateGraph(t *testing.T) {
-	c := New(8)
+	c := New(budgetFor(8))
 	for i := 0; i < 3; i++ {
 		c.Put(Key{GraphName: "a", GraphVersion: uint64(i), PatternHash: "h"}, rel(i))
 		c.Put(Key{GraphName: "b", GraphVersion: uint64(i), PatternHash: "h"}, rel(i))
 	}
+	before := c.Bytes()
 	c.InvalidateGraph("a")
 	if c.Len() != 3 {
 		t.Errorf("Len after invalidate = %d, want 3", c.Len())
+	}
+	if c.Bytes() >= before {
+		t.Errorf("bytes not released on invalidate: %d -> %d", before, c.Bytes())
 	}
 	if _, ok := c.Get(Key{GraphName: "b", GraphVersion: 1, PatternHash: "h"}); !ok {
 		t.Error("unrelated graph entries were dropped")
@@ -112,7 +163,7 @@ func TestInvalidateGraph(t *testing.T) {
 }
 
 func TestConcurrentAccess(t *testing.T) {
-	c := New(16)
+	c := New(budgetFor(16))
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
@@ -129,16 +180,19 @@ func TestConcurrentAccess(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	if c.Len() > 16 {
-		t.Errorf("cache exceeded capacity: %d", c.Len())
+	if c.Bytes() > budgetFor(16)+rel(1).ApproxBytes() {
+		t.Errorf("cache exceeded budget: %d bytes", c.Bytes())
 	}
 }
 
-func TestMinimumCapacity(t *testing.T) {
+func TestDefaultBudget(t *testing.T) {
 	c := New(0)
+	if got := c.Stats().BudgetBytes; got != DefaultBudget {
+		t.Errorf("default budget = %d, want %d", got, DefaultBudget)
+	}
 	k1 := Key{GraphName: "g", GraphVersion: 1, PatternHash: "h"}
 	c.Put(k1, rel(1))
 	if c.Len() != 1 {
-		t.Errorf("capacity floor broken: Len = %d", c.Len())
+		t.Errorf("Len = %d, want 1", c.Len())
 	}
 }

@@ -99,8 +99,12 @@ const (
 
 // Options configures an Engine.
 type Options struct {
-	// CacheSize is the result-cache capacity (entries). Default 128.
+	// CacheSize bounds the result-graph and ranking memo maps (entries).
+	// Default 128.
 	CacheSize int
+	// CacheBytes is the byte budget of the match-relation result cache,
+	// accounted by relation footprint. <= 0 means cache.DefaultBudget.
+	CacheBytes int64
 	// Store, when set, persists saved graphs and results.
 	Store *storage.Store
 	// Parallelism bounds how many queries the engine executes
@@ -203,10 +207,6 @@ func (mg *managed) fingerprint() uint64 {
 
 // New returns an engine with the given options.
 func New(opts Options) *Engine {
-	size := opts.CacheSize
-	if size <= 0 {
-		size = 128
-	}
 	par := opts.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -214,7 +214,7 @@ func New(opts Options) *Engine {
 	e := &Engine{
 		opts:      opts,
 		par:       par,
-		cache:     cache.New(size),
+		cache:     cache.New(opts.CacheBytes),
 		gs:        map[string]*managed{},
 		hub:       subscribe.NewHub(),
 		sem:       make(chan struct{}, par),

@@ -77,6 +77,25 @@ func (r *Relation) Size() int {
 // IsEmpty reports whether the relation has no pairs at all.
 func (r *Relation) IsEmpty() bool { return r.Size() == 0 }
 
+// ApproxBytes estimates the heap footprint of the relation: a map header
+// per pattern node plus a bucket entry per pair. Go map internals charge
+// roughly 48 bytes of header and, for a NodeID->bool entry, about 24
+// bytes per element once bucket overhead is amortized. The estimate is
+// intentionally simple and stable — the byte-budgeted result cache uses
+// it for admission and eviction accounting, where relative proportions
+// matter more than absolute precision.
+func (r *Relation) ApproxBytes() int64 {
+	const (
+		mapHeaderBytes = 48
+		pairBytes      = 24
+	)
+	n := int64(len(r.sets)) * mapHeaderBytes
+	for _, s := range r.sets {
+		n += int64(len(s)) * pairBytes
+	}
+	return n
+}
+
 // Pairs returns all pairs sorted by (pattern node, data node); used for
 // deterministic output and comparisons in tests.
 func (r *Relation) Pairs() []Pair {

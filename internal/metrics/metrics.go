@@ -1,0 +1,301 @@
+// Package metrics is a dependency-free, Prometheus-text-format metrics
+// registry for the serving tier. It implements the small slice of the
+// exposition format the server needs — counters and histograms with a
+// fixed label schema, plus function-backed gauges sampled at scrape
+// time — and renders it deterministically (families and label sets in
+// sorted order) so scrapes are diffable and testable.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []family // registration order is kept, output is sorted
+}
+
+// family is anything that can render itself into the exposition format.
+type family interface {
+	name() string
+	write(w io.Writer)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) register(f family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, existing := range r.families {
+		if existing.name() == f.name() {
+			panic(fmt.Sprintf("metrics: duplicate family %q", f.name()))
+		}
+	}
+	r.families = append(r.families, f)
+}
+
+// WriteText renders every registered family, sorted by name.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name() < fams[j].name() })
+	for _, f := range fams {
+		f.write(w)
+	}
+}
+
+// Handler serves the registry as text/plain for GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// labelKey joins label values into a map key; \x1f cannot appear in a
+// sane label value, so the join is collision-free in practice.
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// renderLabels formats {k="v",...} for a label schema + values; empty
+// schema renders as no braces at all.
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%q", n, values[i])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Counter is a monotonically increasing counter family with a fixed
+// label schema. With an empty schema it is a single scalar series.
+type Counter struct {
+	fname  string
+	help   string
+	labels []string
+
+	mu     sync.Mutex
+	series map[string]*counterSeries
+}
+
+type counterSeries struct {
+	values []string
+	n      atomic.Int64
+}
+
+// NewCounter registers a counter family. labels fixes the label-name
+// schema; every Add/Inc must pass exactly that many values.
+func (r *Registry) NewCounter(name, help string, labels ...string) *Counter {
+	c := &Counter{fname: name, help: help, labels: labels, series: map[string]*counterSeries{}}
+	r.register(c)
+	return c
+}
+
+func (c *Counter) name() string { return c.fname }
+
+// Inc adds one to the series identified by the label values.
+func (c *Counter) Inc(labelValues ...string) { c.Add(1, labelValues...) }
+
+// Add adds n to the series identified by the label values.
+func (c *Counter) Add(n int64, labelValues ...string) {
+	if len(labelValues) != len(c.labels) {
+		panic(fmt.Sprintf("metrics: counter %s wants %d labels, got %d", c.fname, len(c.labels), len(labelValues)))
+	}
+	c.seriesFor(labelValues).n.Add(n)
+}
+
+// Value returns the current count for the label values (0 if unseen).
+func (c *Counter) Value(labelValues ...string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.series[labelKey(labelValues)]
+	if !ok {
+		return 0
+	}
+	return s.n.Load()
+}
+
+func (c *Counter) seriesFor(values []string) *counterSeries {
+	key := labelKey(values)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.series[key]
+	if !ok {
+		s = &counterSeries{values: append([]string(nil), values...)}
+		c.series[key] = s
+	}
+	return s
+}
+
+func (c *Counter) write(w io.Writer) {
+	c.mu.Lock()
+	keys := make([]string, 0, len(c.series))
+	for k := range c.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type row struct {
+		values []string
+		n      int64
+	}
+	rows := make([]row, 0, len(keys))
+	for _, k := range keys {
+		s := c.series[k]
+		rows = append(rows, row{s.values, s.n.Load()})
+	}
+	c.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.fname, c.help, c.fname)
+	if len(rows) == 0 && len(c.labels) == 0 {
+		fmt.Fprintf(w, "%s 0\n", c.fname)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s%s %d\n", c.fname, renderLabels(c.labels, r.values), r.n)
+	}
+}
+
+// DefBuckets is a latency bucket ladder (seconds) spanning sub-ms cache
+// hits to multi-second overload tails.
+var DefBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram is a cumulative histogram family with fixed buckets and a
+// fixed label schema.
+type Histogram struct {
+	fname   string
+	help    string
+	labels  []string
+	buckets []float64
+
+	mu     sync.Mutex
+	series map[string]*histSeries
+}
+
+type histSeries struct {
+	values []string
+	counts []int64 // per bucket, non-cumulative; rendered cumulatively
+	inf    int64   // observations above the last bucket
+	sum    float64
+	n      int64
+}
+
+// NewHistogram registers a histogram family with the given upper bounds
+// (must be sorted ascending; DefBuckets when nil).
+func (r *Registry) NewHistogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	h := &Histogram{fname: name, help: help, labels: labels,
+		buckets: append([]float64(nil), buckets...), series: map[string]*histSeries{}}
+	r.register(h)
+	return h
+}
+
+func (h *Histogram) name() string { return h.fname }
+
+// Observe records one observation on the series for the label values.
+func (h *Histogram) Observe(v float64, labelValues ...string) {
+	if len(labelValues) != len(h.labels) {
+		panic(fmt.Sprintf("metrics: histogram %s wants %d labels, got %d", h.fname, len(h.labels), len(labelValues)))
+	}
+	key := labelKey(labelValues)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.series[key]
+	if !ok {
+		s = &histSeries{values: append([]string(nil), labelValues...), counts: make([]int64, len(h.buckets))}
+		h.series[key] = s
+	}
+	idx := sort.SearchFloat64s(h.buckets, v)
+	if idx < len(h.buckets) {
+		s.counts[idx]++
+	} else {
+		s.inf++
+	}
+	s.sum += v
+	s.n++
+}
+
+// Count returns the observation count for the label values (0 if unseen).
+func (h *Histogram) Count(labelValues ...string) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.series[labelKey(labelValues)]
+	if !ok {
+		return 0
+	}
+	return s.n
+}
+
+func (h *Histogram) write(w io.Writer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	keys := make([]string, 0, len(h.series))
+	for k := range h.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.fname, h.help, h.fname)
+	for _, k := range keys {
+		s := h.series[k]
+		cum := int64(0)
+		for i, le := range h.buckets {
+			cum += s.counts[i]
+			fmt.Fprintf(w, "%s_bucket%s %d\n", h.fname, bucketLabels(h.labels, s.values, le), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.fname, bucketLabels(h.labels, s.values, math.Inf(1)), cum+s.inf)
+		fmt.Fprintf(w, "%s_sum%s %g\n", h.fname, renderLabels(h.labels, s.values), s.sum)
+		fmt.Fprintf(w, "%s_count%s %d\n", h.fname, renderLabels(h.labels, s.values), s.n)
+	}
+}
+
+// bucketLabels renders the label set plus the le bound.
+func bucketLabels(names, values []string, le float64) string {
+	leStr := "+Inf"
+	if !math.IsInf(le, 1) {
+		leStr = strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", le), "0"), ".")
+		if le >= 1e6 || le < 1e-4 {
+			leStr = fmt.Sprintf("%g", le)
+		}
+	}
+	allNames := append(append([]string(nil), names...), "le")
+	allValues := append(append([]string(nil), values...), leStr)
+	return renderLabels(allNames, allValues)
+}
+
+// GaugeFunc is a gauge whose value is sampled from a callback at scrape
+// time — the natural fit for "current queue depth" or "live graphs"
+// where the source of truth already exists elsewhere.
+type GaugeFunc struct {
+	fname string
+	help  string
+	fn    func() float64
+}
+
+// NewGaugeFunc registers a sampled gauge.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	g := &GaugeFunc{fname: name, help: help, fn: fn}
+	r.register(g)
+	return g
+}
+
+func (g *GaugeFunc) name() string { return g.fname }
+
+func (g *GaugeFunc) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.fname, g.help, g.fname)
+	fmt.Fprintf(w, "%s %g\n", g.fname, g.fn())
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("requests_total", "Total requests.", "route", "code")
+	c.Inc("query", "200")
+	c.Add(2, "query", "200")
+	c.Inc("query", "404")
+
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP requests_total Total requests.",
+		"# TYPE requests_total counter",
+		`requests_total{route="query",code="200"} 3`,
+		`requests_total{route="query",code="404"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if c.Value("query", "200") != 3 {
+		t.Errorf("Value = %d, want 3", c.Value("query", "200"))
+	}
+	if c.Value("other", "200") != 0 {
+		t.Errorf("unseen series Value = %d, want 0", c.Value("other", "200"))
+	}
+}
+
+func TestUnlabeledCounterRendersZero(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("sheds_total", "Requests shed.")
+	var sb strings.Builder
+	r.WriteText(&sb)
+	if !strings.Contains(sb.String(), "sheds_total 0\n") {
+		t.Errorf("unlabeled untouched counter should render as 0:\n%s", sb.String())
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("latency_seconds", "Latency.", []float64{0.01, 0.1, 1}, "route")
+	h.Observe(0.005, "query")
+	h.Observe(0.05, "query")
+	h.Observe(5, "query") // above last bucket
+
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{route="query",le="0.01"} 1`,
+		`latency_seconds_bucket{route="query",le="0.1"} 2`,
+		`latency_seconds_bucket{route="query",le="1"} 2`,
+		`latency_seconds_bucket{route="query",le="+Inf"} 3`,
+		`latency_seconds_count{route="query"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count("query") != 3 {
+		t.Errorf("Count = %d, want 3", h.Count("query"))
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 7.0
+	r.NewGaugeFunc("queue_depth", "Queued requests.", func() float64 { return v })
+	var sb strings.Builder
+	r.WriteText(&sb)
+	if !strings.Contains(sb.String(), "queue_depth 7\n") {
+		t.Errorf("gauge not rendered:\n%s", sb.String())
+	}
+	v = 9
+	sb.Reset()
+	r.WriteText(&sb)
+	if !strings.Contains(sb.String(), "queue_depth 9\n") {
+		t.Errorf("gauge should re-sample at scrape:\n%s", sb.String())
+	}
+}
+
+func TestFamiliesSortedByName(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("zzz_total", "Last.")
+	r.NewCounter("aaa_total", "First.")
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	if strings.Index(out, "aaa_total") > strings.Index(out, "zzz_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestDuplicateFamilyPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup_total", "One.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	r.NewCounter("dup_total", "Two.")
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("hits_total", "Hits.", "route")
+	h := r.NewHistogram("lat_seconds", "Lat.", nil, "route")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc("r")
+				h.Observe(0.001, "r")
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value("r") != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value("r"))
+	}
+	if h.Count("r") != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count("r"))
+	}
+}

@@ -11,10 +11,11 @@ import (
 	"io"
 	"net/http"
 
+	"expfinder/internal/api"
 	"expfinder/internal/engine"
 )
 
-// persistenceStats serves GET /api/admin/persistence: whether durability
+// persistenceStats serves GET /api/v1/admin/persistence: whether durability
 // is on, and if so the manager's counters plus per-graph log state.
 func (s *Server) persistenceStats(w http.ResponseWriter, r *http.Request) {
 	if !s.eng.PersistenceEnabled() {
@@ -29,19 +30,13 @@ func (s *Server) persistenceStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"enabled": true, "stats": st})
 }
 
-// checkpointRequest selects what to checkpoint; an absent/empty graph
-// name means every managed graph.
-type checkpointRequest struct {
-	Graph string `json:"graph,omitempty"`
-}
-
-// forceCheckpoint serves POST /api/admin/persistence/checkpoint.
+// forceCheckpoint serves POST /api/v1/admin/persistence/checkpoint.
 func (s *Server) forceCheckpoint(w http.ResponseWriter, r *http.Request) {
 	if !s.eng.PersistenceEnabled() {
 		writeErr(w, http.StatusConflict, engine.ErrNoPersistence)
 		return
 	}
-	var req checkpointRequest
+	var req api.CheckpointRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
 		writeErr(w, http.StatusBadRequest, err)
 		return

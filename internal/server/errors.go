@@ -1,0 +1,102 @@
+package server
+
+// Error rendering: every non-2xx response — v1 and legacy alike — is
+// the uniform envelope {"error":{"code","message","details"}} from
+// internal/api. Handlers pass Go errors; the mapping from error chain
+// to (HTTP status, stable code) lives here so no handler invents its
+// own.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"expfinder/internal/api"
+	"expfinder/internal/engine"
+	"expfinder/internal/graph"
+	"expfinder/internal/subscribe"
+	"expfinder/internal/wal"
+)
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// writeErr renders err as the error envelope, deriving the stable code
+// from the error chain (falling back to a status-default code).
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeEnvelope(w, status, codeFor(status, err), err.Error(), nil)
+}
+
+// writeCode renders err under an explicit code, for call sites whose
+// context knows more than the error chain (e.g. pattern parsing).
+func writeCode(w http.ResponseWriter, status int, code string, err error) {
+	writeEnvelope(w, status, code, err.Error(), nil)
+}
+
+func writeEnvelope(w http.ResponseWriter, status int, code, message string, details map[string]any) {
+	env := api.NewError(code, message)
+	env.Error.Details = details
+	writeJSON(w, status, env)
+}
+
+// statusFor maps engine errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrNoGraph), errors.Is(err, engine.ErrNoIndex),
+		errors.Is(err, engine.ErrNoPartition), errors.Is(err, graph.ErrNoNode),
+		errors.Is(err, subscribe.ErrNoSubscription):
+		return http.StatusNotFound
+	case errors.Is(err, engine.ErrGraphExists), errors.Is(err, wal.ErrExists),
+		errors.Is(err, engine.ErrNoPersistence):
+		return http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// codeFor derives the stable machine-readable code: the error chain
+// decides when it can, the status class otherwise.
+func codeFor(status int, err error) string {
+	switch {
+	case errors.Is(err, engine.ErrNoGraph):
+		return api.CodeGraphNotFound
+	case errors.Is(err, graph.ErrNoNode):
+		return api.CodeNodeNotFound
+	case errors.Is(err, engine.ErrNoIndex):
+		return api.CodeIndexNotFound
+	case errors.Is(err, engine.ErrNoPartition):
+		return api.CodePartitionNotFound
+	case errors.Is(err, subscribe.ErrNoSubscription):
+		return api.CodeSubscriptionNotFound
+	case errors.Is(err, engine.ErrGraphExists), errors.Is(err, wal.ErrExists):
+		return api.CodeGraphExists
+	case errors.Is(err, engine.ErrNoPersistence):
+		return api.CodePersistenceDisabled
+	case errors.Is(err, context.DeadlineExceeded):
+		return api.CodeDeadlineExceeded
+	}
+	switch status {
+	case http.StatusUnauthorized:
+		return api.CodeUnauthorized
+	case http.StatusNotFound:
+		return api.CodeNotFound
+	case http.StatusConflict:
+		return api.CodeConflict
+	case http.StatusTooManyRequests:
+		return api.CodeRateLimited
+	case http.StatusServiceUnavailable:
+		return api.CodeOverloaded
+	case http.StatusGatewayTimeout:
+		return api.CodeDeadlineExceeded
+	case http.StatusInternalServerError:
+		return api.CodeInternal
+	default:
+		return api.CodeInvalidRequest
+	}
+}

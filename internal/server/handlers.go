@@ -1,0 +1,563 @@
+package server
+
+// Handlers for the API route table (routes.go). Wire shapes live in
+// internal/api; every handler here decodes into and encodes from those
+// DTOs, shared verbatim by the /api/v1 surface and the legacy /api
+// aliases. Handlers run innermost in the middleware chain, so
+// r.Context() already carries the admission deadline when one is
+// configured — engine calls taking a context stop computing when the
+// client's budget runs out.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"expfinder/internal/api"
+	"expfinder/internal/compress"
+	"expfinder/internal/distindex"
+	"expfinder/internal/engine"
+	"expfinder/internal/generator"
+	"expfinder/internal/graph"
+	"expfinder/internal/incremental"
+	"expfinder/internal/match"
+	"expfinder/internal/pattern"
+	"expfinder/internal/rank"
+	"expfinder/internal/strongsim"
+	"expfinder/internal/viz"
+)
+
+// queryResponse is kept as an alias so pre-v1 in-package call sites
+// (and the server tests) keep compiling against the api type.
+type queryResponse = api.QueryResponse
+
+func (s *Server) listGraphs(w http.ResponseWriter, r *http.Request) {
+	var out []api.GraphSummary
+	for _, name := range s.eng.ListGraphs() {
+		var en api.GraphSummary
+		if err := s.eng.WithGraph(name, func(g *graph.Graph) error {
+			en = api.GraphSummary{Name: name, Nodes: g.NumNodes(), Edges: g.NumEdges()}
+			return nil
+		}); err != nil {
+			continue
+		}
+		out = append(out, en)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) createGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var req api.CreateGraphRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	var g *graph.Graph
+	switch {
+	case req.Generator != nil:
+		g, err = generator.Generate(generator.Kind(req.Generator.Kind), generator.Config{
+			Nodes: req.Generator.Nodes, AvgDegree: req.Generator.AvgDegree, Seed: req.Generator.Seed,
+		})
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	case req.Graph != nil:
+		g = graph.New(0)
+		if err := g.UnmarshalJSON(req.Graph); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, errors.New("request needs either graph or generator"))
+		return
+	}
+	if err := s.eng.AddGraph(name, g); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, api.CreateGraphResponse{
+		Name: name, Nodes: g.NumNodes(), Edges: g.NumEdges(),
+	})
+}
+
+// Read endpoints serialize into a buffer inside the graph's read scope
+// and write to the client after releasing it: streaming to a slow client
+// under the lock would let that client stall the graph's writers (and,
+// via RWMutex writer preference, every other reader).
+
+func (s *Server) getGraph(w http.ResponseWriter, r *http.Request) {
+	var buf jsonBuilder
+	err := s.eng.WithGraph(r.PathValue("name"), func(g *graph.Graph) error {
+		return g.WriteJSON(&buf)
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.buf)
+}
+
+func (s *Server) deleteGraph(w http.ResponseWriter, r *http.Request) {
+	if err := s.eng.RemoveGraph(r.PathValue("name")); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) graphStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var body map[string]any
+	err := s.eng.WithGraph(name, func(g *graph.Graph) error {
+		st := g.ComputeStats()
+		body = map[string]any{
+			"nodes": st.Nodes, "edges": st.Edges,
+			"max_out_degree": st.MaxOutDeg, "max_in_degree": st.MaxInDeg,
+			"labels": st.Labels, "version": g.Version(),
+		}
+		return nil
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	if ixStats, err := s.eng.IndexStats(name); err == nil {
+		body["index"] = ixStats
+	}
+	if ptStats, err := s.eng.PartitionStats(name); err == nil {
+		body["partitions"] = ptStats
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) graphDOT(w http.ResponseWriter, r *http.Request) {
+	var buf jsonBuilder
+	err := s.eng.WithGraph(r.PathValue("name"), func(g *graph.Graph) error {
+		return viz.WriteGraph(&buf, g, viz.Options{MaxNodes: 500, DrillDown: r.URL.Query().Get("drilldown") == "1"})
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz")
+	_, _ = w.Write(buf.buf)
+}
+
+// metricByName resolves a ranking metric; "" means the paper's default.
+func metricByName(name string) (rank.Metric, error) {
+	switch name {
+	case "", rank.AvgDistance{}.Name():
+		return rank.AvgDistance{}, nil
+	case rank.Closeness{}.Name():
+		return rank.Closeness{}, nil
+	case rank.Degree{}.Name():
+		return rank.Degree{}, nil
+	case (rank.PageRank{}).Name():
+		return rank.PageRank{}, nil
+	default:
+		return nil, fmt.Errorf("unknown metric %q", name)
+	}
+}
+
+func parsePattern(req api.QueryRequest) (*pattern.Pattern, error) {
+	switch {
+	case req.DSL != "":
+		return pattern.Parse(req.DSL)
+	case req.Pattern != nil:
+		q := pattern.New()
+		if err := q.UnmarshalJSON(req.Pattern); err != nil {
+			return nil, err
+		}
+		return q, nil
+	default:
+		return nil, errors.New("request needs pattern or dsl")
+	}
+}
+
+func (s *Server) query(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req api.QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := parsePattern(req)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, api.CodeInvalidPattern, err)
+		return
+	}
+	metric, err := metricByName(req.Metric)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var res *engine.Result
+	switch req.Semantics {
+	case "", "bounded":
+		res, err = s.eng.QueryCtx(r.Context(), name, q, req.K)
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		if req.Metric != "" && req.Metric != (rank.AvgDistance{}).Name() {
+			res.TopK = rank.TopKByMetricWithResultGraph(res.ResultGraph, q, res.Relation, req.K, metric)
+		}
+	case "dual":
+		// Dual simulation bypasses the engine pipeline (no cache or
+		// compression routing is defined for it); evaluated directly
+		// inside the graph's read scope — through the distance index
+		// when a fresh *complete* one is registered (a partial index
+		// would pay a per-pair BFS fallback for every label-undecided
+		// witness check, easily dwarfing the single traversal it
+		// replaces). The index pointer is fetched before entering the
+		// read scope (no nested engine locks); freshness is re-checked
+		// inside it.
+		if err := q.Validate(); err != nil {
+			writeCode(w, http.StatusBadRequest, api.CodeInvalidPattern, err)
+			return
+		}
+		ix, ixErr := s.eng.Index(name)
+		err = s.eng.WithGraph(name, func(g *graph.Graph) error {
+			start := time.Now()
+			var rel *match.Relation
+			source := engine.SourceDirect
+			if ixErr == nil && ix.Complete() && ix.Fresh(g) {
+				rel = strongsim.DualIndexed(g, q, ix)
+				source = engine.SourceIndexed
+			} else {
+				rel = strongsim.Dual(g, q)
+			}
+			rg := match.BuildResultGraph(g, q, rel)
+			res = &engine.Result{
+				Relation:    rel,
+				ResultGraph: rg,
+				TopK:        rank.TopKByMetricWithResultGraph(rg, q, rel, req.K, metric),
+				Plan:        "dual-simulation",
+				Source:      source,
+				Elapsed:     time.Since(start),
+			}
+			return nil
+		})
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown semantics %q", req.Semantics))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.render(name, q, res, r.URL.Query().Get("dot") == "1"))
+}
+
+// render builds the wire response inside the graph's read scope so
+// display-name lookups and DOT export never race engine mutations. If
+// the graph was removed after the query answered (against its
+// pre-removal snapshot), the result is still rendered — just without
+// graph-resident display names or DOT.
+func (s *Server) render(name string, q *pattern.Pattern, res *engine.Result, withDot bool) queryResponse {
+	var resp queryResponse
+	if err := s.eng.WithGraph(name, func(g *graph.Graph) error {
+		resp = responseFor(g, q, res, withDot)
+		return nil
+	}); err != nil {
+		resp = responseFor(nil, q, res, false)
+	}
+	return resp
+}
+
+// responseFor renders an engine result into the wire form shared by the
+// single-query and batch endpoints. g may be nil (graph removed after
+// the query answered): matches and ranks still render, display names
+// and DOT are skipped.
+func responseFor(g *graph.Graph, q *pattern.Pattern, res *engine.Result, withDot bool) queryResponse {
+	resp := queryResponse{
+		Plan:      string(res.Plan),
+		Source:    string(res.Source),
+		ElapsedUS: res.Elapsed.Microseconds(),
+		Matches:   map[string][]int64{},
+	}
+	for i := 0; i < q.NumNodes(); i++ {
+		idx := pattern.NodeIdx(i)
+		ids := res.Relation.MatchesOf(idx)
+		out := make([]int64, len(ids))
+		for j, id := range ids {
+			out[j] = int64(id)
+		}
+		resp.Matches[q.Node(idx).Name] = out
+	}
+	for _, t := range res.TopK {
+		entry := api.TopEntry{Node: int64(t.Node), Rank: t.Rank, Connected: t.Connected}
+		if g != nil {
+			if v, ok := g.Attr(t.Node, "name"); ok {
+				entry.Name = v.Str()
+			}
+		}
+		resp.TopK = append(resp.TopK, entry)
+	}
+	if withDot && g != nil {
+		var dot jsonBuilder
+		if err := viz.WriteTopK(&dot, g, res.ResultGraph, res.TopK, viz.Options{}); err == nil {
+			resp.ResultDOT = dot.String()
+		}
+	}
+	return resp
+}
+
+// queryBatch evaluates many queries in one request through the engine's
+// bounded parallel executor. Outcomes come back in request order, and a
+// failed query never fails the batch.
+func (s *Server) queryBatch(w http.ResponseWriter, r *http.Request) {
+	var req api.BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("request needs a non-empty queries list"))
+		return
+	}
+	entries := make([]api.BatchEntry, len(req.Queries))
+	patterns := make([]*pattern.Pattern, len(req.Queries))
+	metrics := make([]rank.Metric, len(req.Queries))
+	var reqs []engine.QueryRequest
+	var at []int // reqs index -> entries index
+	for i, bq := range req.Queries {
+		q, err := parsePattern(api.QueryRequest{Pattern: bq.Pattern, DSL: bq.DSL})
+		if err == nil {
+			metrics[i], err = metricByName(bq.Metric)
+		}
+		if err != nil {
+			entries[i].Error = err.Error()
+			continue
+		}
+		patterns[i] = q
+		reqs = append(reqs, engine.QueryRequest{Graph: bq.Graph, Pattern: q, K: bq.K})
+		at = append(at, i)
+	}
+	outcomes := s.eng.QueryBatch(r.Context(), reqs)
+	for j, oc := range outcomes {
+		i := at[j]
+		if oc.Err != nil {
+			entries[i].Error = oc.Err.Error()
+			continue
+		}
+		bq := req.Queries[i]
+		if bq.Metric != "" && bq.Metric != (rank.AvgDistance{}).Name() {
+			oc.Result.TopK = rank.TopKByMetricWithResultGraph(
+				oc.Result.ResultGraph, patterns[i], oc.Result.Relation, bq.K, metrics[i])
+		}
+		entries[i].QueryResponse = s.render(bq.Graph, patterns[i], oc.Result, false)
+	}
+	writeJSON(w, http.StatusOK, api.BatchResponse{Results: entries})
+}
+
+func (s *Server) applyUpdates(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req api.UpdateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ops := make([]incremental.Update, 0, len(req.Ops))
+	for _, o := range req.Ops {
+		switch o.Op {
+		case "insert":
+			ops = append(ops, incremental.Insert(graph.NodeID(o.From), graph.NodeID(o.To)))
+		case "delete":
+			ops = append(ops, incremental.Delete(graph.NodeID(o.From), graph.NodeID(o.To)))
+		default:
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown op %q", o.Op))
+			return
+		}
+	}
+	deltas, notified, err := s.eng.PushUpdates(name, ops)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	out := make([]api.DeltaSummary, 0, len(deltas))
+	for _, d := range deltas {
+		out = append(out, api.DeltaSummary{PatternHash: d.PatternHash, Added: len(d.Added), Removed: len(d.Removed)})
+	}
+	writeJSON(w, http.StatusOK, api.UpdateResponse{
+		Applied: len(ops), Deltas: out, Notified: notified,
+	})
+}
+
+func (s *Server) addNode(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req api.AddNodeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	attrs := graph.Attrs(req.Attrs)
+	id, err := s.eng.AddNode(name, req.Label, attrs)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, api.AddNodeResponse{ID: int64(id)})
+}
+
+func parseNodeID(r *http.Request) (graph.NodeID, error) {
+	raw := r.PathValue("id")
+	id, err := json.Number(raw).Int64()
+	if err != nil || id < 0 {
+		return graph.Invalid, fmt.Errorf("bad node id %q", raw)
+	}
+	return graph.NodeID(id), nil
+}
+
+func (s *Server) removeNode(w http.ResponseWriter, r *http.Request) {
+	id, err := parseNodeID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	name := r.PathValue("name")
+	if err := s.eng.RemoveNode(name, id); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	// Node removals invalidate standing queries lazily; flush here so
+	// subscribers streaming events see the delta now rather than at the
+	// next edge-update batch.
+	_, _ = s.eng.FlushSubscriptions(name)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) setNodeAttrs(w http.ResponseWriter, r *http.Request) {
+	id, err := parseNodeID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var attrs map[string]graph.Value
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&attrs); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	name := r.PathValue("name")
+	for key, v := range attrs {
+		if err := s.eng.SetNodeAttr(name, id, key, v); err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+	}
+	// One flush after the whole attribute batch (see removeNode).
+	_, _ = s.eng.FlushSubscriptions(name)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) compressGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req api.CompressRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	scheme := compress.Bisimulation
+	if req.Scheme == compress.SimulationEquivalence.String() {
+		scheme = compress.SimulationEquivalence
+	} else if req.Scheme != "" && req.Scheme != compress.Bisimulation.String() {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown scheme %q", req.Scheme))
+		return
+	}
+	var view compress.View
+	if !req.FullView {
+		view = compress.View(req.View)
+		if req.View == nil {
+			view = compress.View{}
+		}
+	}
+	c, err := s.eng.CompressGraph(name, scheme, view)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.CompressResponse{
+		Scheme: scheme.String(),
+		Nodes:  c.Graph().NumNodes(),
+		Edges:  c.Graph().NumEdges(),
+		Ratio:  c.Ratio(),
+	})
+}
+
+func (s *Server) dropCompression(w http.ResponseWriter, r *http.Request) {
+	if err := s.eng.DropCompression(r.PathValue("name")); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) buildIndex(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req api.IndexRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.eng.BuildIndex(name, distindex.Options{Landmarks: req.Landmarks})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) indexStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.eng.IndexStats(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) dropIndex(w http.ResponseWriter, r *http.Request) {
+	if err := s.eng.DropIndex(r.PathValue("name")); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) registerQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req api.QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := parsePattern(req)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, api.CodeInvalidPattern, err)
+		return
+	}
+	if err := s.eng.RegisterQuery(name, q); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.RegisterResponse{Registered: q.Hash()})
+}
+
+func (s *Server) cacheStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.CacheStats()
+	writeJSON(w, http.StatusOK, api.CacheStatsResponse{
+		Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+		Entries: st.Entries, Bytes: st.Bytes, BudgetBytes: st.BudgetBytes,
+	})
+}

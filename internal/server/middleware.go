@@ -1,0 +1,357 @@
+package server
+
+// The middleware chain of the serving tier. Per request (outermost
+// first): request-id assignment -> structured logging -> per-route
+// metrics -> surface marking (v1 vs deprecated legacy alias) -> token
+// auth -> per-client rate limiting -> admission control with deadline
+// propagation -> handler. /healthz and /metrics are mounted outside
+// the auth/rate/admission chain so probes and scrapes keep answering
+// under overload.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"expfinder/internal/api"
+)
+
+type ctxKey int
+
+const (
+	ctxKeyPrefix ctxKey = iota // API mount prefix ("/api" or "/api/v1")
+	ctxKeyRoute                // *routeInfo, filled by per-route middleware
+)
+
+// routeInfo is allocated by the outer logging middleware and filled in
+// by the per-route metrics middleware, so the access log can name the
+// route that actually matched.
+type routeInfo struct {
+	name string
+}
+
+// apiPrefix returns the mount prefix of the surface serving this
+// request; v1 when the request did not pass a surface middleware (e.g.
+// direct handler tests).
+func apiPrefix(ctx context.Context) string {
+	if p, ok := ctx.Value(ctxKeyPrefix).(string); ok {
+		return p
+	}
+	return api.Prefix
+}
+
+// statusWriter records status and size for logging/metrics. Flush is
+// forwarded explicitly: embedding http.ResponseWriter does not make the
+// wrapper an http.Flusher, and the SSE stream asserts for one.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if sw.status == 0 {
+		sw.status = status
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+var (
+	reqSeq   atomic.Uint64
+	reqEpoch = time.Now().UnixNano()
+)
+
+// nextRequestID returns a process-unique request id: boot-time entropy
+// plus a sequence number — cheap, collision-free within a process, and
+// greppable across restarts.
+func nextRequestID() string {
+	return fmt.Sprintf("%08x-%06d", uint32(reqEpoch), reqSeq.Add(1))
+}
+
+// withObservability wraps the whole mux: assigns the request id (echoed
+// as X-Request-ID) and, when a logger is configured, emits one
+// structured line per request.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = nextRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		ri := &routeInfo{}
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyRoute, ri))
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		// Probe and scrape endpoints are exempt from the access log: a
+		// load balancer polling /healthz every few seconds would drown
+		// real request logs in identical lines.
+		if s.cfg.Logger != nil && r.URL.Path != "/healthz" && r.URL.Path != "/metrics" {
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			route := ri.name
+			if route == "" {
+				route = "unmatched"
+			}
+			s.cfg.Logger.Printf(
+				"request_id=%s method=%s path=%s route=%s status=%d bytes=%d latency=%s",
+				id, r.Method, r.URL.Path, route, status, sw.bytes, time.Since(start).Round(time.Microsecond))
+		}
+	})
+}
+
+// withMetrics names the route for the access log and records the
+// request count and latency histogram under that name.
+func (s *Server) withMetrics(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ri, ok := r.Context().Value(ctxKeyRoute).(*routeInfo); ok {
+			ri.name = route
+		}
+		sw, ok := w.(*statusWriter)
+		if !ok {
+			sw = &statusWriter{ResponseWriter: w}
+			w = sw
+		}
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.mReqs.Inc(route, r.Method, strconv.Itoa(status))
+		s.mLatency.Observe(time.Since(start).Seconds(), route)
+	})
+}
+
+// withSurface marks which mount the request came through. The legacy
+// surface additionally emits a Deprecation header (RFC 9745) pointing
+// clients at the v1 successor.
+func (s *Server) withSurface(prefix string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if prefix == api.LegacyPrefix {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", fmt.Sprintf("<%s%s>; rel=\"successor-version\"",
+				api.Prefix, r.URL.Path[len(api.LegacyPrefix):]))
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ctxKeyPrefix, prefix)))
+	})
+}
+
+// withAuth enforces the bearer token when one is configured.
+func (s *Server) withAuth(next http.Handler) http.Handler {
+	if s.cfg.AuthToken == "" {
+		return next
+	}
+	want := "Bearer " + s.cfg.AuthToken
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Authorization") != want {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="expfinder"`)
+			writeEnvelope(w, http.StatusUnauthorized, api.CodeUnauthorized,
+				"missing or invalid bearer token", nil)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// rateLimiter is a per-client token-bucket limiter: rate tokens/second
+// refill up to burst, one token per request. Clients are keyed by
+// X-Client-ID when present (trusted deployments put an API key or user
+// id there), else by remote host.
+type rateLimiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	sweepAt time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	b := float64(burst)
+	if b <= 0 {
+		// Default burst: one second of rate, at least 1.
+		b = math.Max(1, rate)
+	}
+	return &rateLimiter{rate: rate, burst: b, buckets: map[string]*bucket{}}
+}
+
+// allow consumes a token for key; when denied it returns the seconds
+// until a token will be available.
+func (rl *rateLimiter) allow(key string, now time.Time) (bool, float64) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	bk, ok := rl.buckets[key]
+	if !ok {
+		bk = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[key] = bk
+	}
+	bk.tokens = math.Min(rl.burst, bk.tokens+rl.rate*now.Sub(bk.last).Seconds())
+	bk.last = now
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	rl.maybeSweep(now)
+	return false, (1 - bk.tokens) / rl.rate
+}
+
+// maybeSweep drops buckets idle long enough to have refilled to full —
+// they carry no state a fresh bucket wouldn't. Called with mu held, at
+// most once a minute.
+func (rl *rateLimiter) maybeSweep(now time.Time) {
+	if len(rl.buckets) < 1024 || now.Sub(rl.sweepAt) < time.Minute {
+		return
+	}
+	rl.sweepAt = now
+	idle := time.Duration(rl.burst/rl.rate*float64(time.Second)) + time.Minute
+	for k, bk := range rl.buckets {
+		if now.Sub(bk.last) > idle {
+			delete(rl.buckets, k)
+		}
+	}
+}
+
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// withRateLimit rejects over-budget clients with 429 + Retry-After.
+func (s *Server) withRateLimit(next http.Handler) http.Handler {
+	if s.limiter == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ok, wait := s.limiter.allow(clientKey(r), time.Now())
+		if !ok {
+			retry := int(math.Ceil(wait))
+			if retry < 1 {
+				retry = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
+			s.mRateLimited.Inc()
+			writeEnvelope(w, http.StatusTooManyRequests, api.CodeRateLimited,
+				"client request rate exceeds the configured limit",
+				map[string]any{"retry_after_seconds": retry})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// admission bounds how much work the server accepts: MaxInflight
+// requests execute concurrently, up to maxQueue more wait for a slot,
+// and everything beyond that is shed immediately with 503 + Retry-After
+// — a full queue means waiting clients already cover the next several
+// slot releases, so piling on more traffic only grows tail latency.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+}
+
+func newAdmission(maxInflight, maxQueue int) *admission {
+	if maxQueue <= 0 {
+		maxQueue = 4 * maxInflight
+	}
+	return &admission{slots: make(chan struct{}, maxInflight), maxQueue: int64(maxQueue)}
+}
+
+// errShed reports a request shed at admission.
+var errShed = errors.New("server overloaded: admission queue full")
+
+// acquire takes an execution slot, queueing up to the bound; release
+// with the returned func. Fails with errShed when the queue is full or
+// ctx's error when the caller's deadline fires first.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	select {
+	case a.slots <- struct{}{}: // fast path: idle slot
+		return func() { <-a.slots }, nil
+	default:
+	}
+	// CAS-bounded enqueue.
+	for {
+		q := a.queued.Load()
+		if q >= a.maxQueue {
+			return nil, errShed
+		}
+		if a.queued.CompareAndSwap(q, q+1) {
+			break
+		}
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// withAdmission applies admission control and propagates the request
+// timeout as a context deadline so the engine stops computing for
+// clients that already gave up.
+func (s *Server) withAdmission(next http.Handler) http.Handler {
+	if s.admit == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		release, err := s.admit.acquire(ctx)
+		if err != nil {
+			if errors.Is(err, errShed) {
+				w.Header().Set("Retry-After", "1")
+				s.mShed.Inc()
+				writeEnvelope(w, http.StatusServiceUnavailable, api.CodeOverloaded,
+					err.Error(), map[string]any{"retry_after_seconds": 1})
+				return
+			}
+			writeErr(w, statusFor(err), err)
+			return
+		}
+		defer release()
+		next.ServeHTTP(w, r)
+	})
+}

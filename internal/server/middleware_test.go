@@ -1,0 +1,446 @@
+package server
+
+// Tests for the serving-tier middleware chain: auth, rate limiting,
+// admission control + shedding, deadline propagation into the engine,
+// the error envelope, metrics exposition, and byte-compatibility of the
+// legacy /api aliases against /api/v1.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"expfinder/internal/api"
+	"expfinder/internal/engine"
+)
+
+func newConfiguredServer(t *testing.T, cfg Config) (*httptest.Server, *Server) {
+	t.Helper()
+	eng := engine.New(engine.Options{})
+	s := New(eng, cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+func decodeEnvelope(t *testing.T, body []byte) api.ErrorEnvelope {
+	t.Helper()
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("error body is not the envelope: %v: %s", err, body)
+	}
+	if env.Error.Code == "" {
+		t.Fatalf("envelope without a code: %s", body)
+	}
+	return env
+}
+
+func TestAuthRequired(t *testing.T) {
+	ts, _ := newConfiguredServer(t, Config{AuthToken: "sekrit"})
+
+	resp, body := do(t, "GET", ts.URL+"/api/v1/graphs", nil)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("no token: %d, want 401", resp.StatusCode)
+	}
+	if env := decodeEnvelope(t, body); env.Error.Code != api.CodeUnauthorized {
+		t.Errorf("code = %q, want %q", env.Error.Code, api.CodeUnauthorized)
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/api/v1/graphs", nil)
+	req.Header.Set("Authorization", "Bearer wrong")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("wrong token: %d, want 401", resp2.StatusCode)
+	}
+
+	req, _ = http.NewRequest("GET", ts.URL+"/api/v1/graphs", nil)
+	req.Header.Set("Authorization", "Bearer sekrit")
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("valid token: %d, want 200", resp3.StatusCode)
+	}
+
+	// Legacy aliases sit behind the same auth.
+	resp4, _ := do(t, "GET", ts.URL+"/api/graphs", nil)
+	if resp4.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("legacy without token: %d, want 401", resp4.StatusCode)
+	}
+
+	// Probes and scrapes stay open.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp5, _ := do(t, "GET", ts.URL+path, nil)
+		if resp5.StatusCode != http.StatusOK {
+			t.Errorf("%s behind auth: %d, want 200", path, resp5.StatusCode)
+		}
+	}
+}
+
+func TestRateLimit(t *testing.T) {
+	ts, _ := newConfiguredServer(t, Config{RateLimit: 1, RateBurst: 2})
+
+	get := func(client string) *http.Response {
+		req, _ := http.NewRequest("GET", ts.URL+"/api/v1/graphs", nil)
+		req.Header.Set("X-Client-ID", client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	// Burst of 2 passes, third request is limited.
+	for i := 0; i < 2; i++ {
+		if resp := get("alice"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: %d, want 200", i, resp.StatusCode)
+		}
+	}
+	limited := get("alice")
+	if limited.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget request: %d, want 429", limited.StatusCode)
+	}
+	if limited.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// Another client has its own bucket.
+	if resp := get("bob"); resp.StatusCode != http.StatusOK {
+		t.Errorf("independent client limited: %d", resp.StatusCode)
+	}
+}
+
+func TestRateLimiterRefill(t *testing.T) {
+	rl := newRateLimiter(10, 1)
+	now := time.Unix(0, 0)
+	if ok, _ := rl.allow("c", now); !ok {
+		t.Fatal("first request should pass")
+	}
+	if ok, wait := rl.allow("c", now); ok || wait <= 0 {
+		t.Fatalf("drained bucket passed (wait %v)", wait)
+	}
+	// 100ms at 10 req/s refills exactly one token.
+	if ok, _ := rl.allow("c", now.Add(100*time.Millisecond)); !ok {
+		t.Fatal("bucket did not refill")
+	}
+}
+
+// TestQueueShed drives the admission middleware deterministically: one
+// slot held by a blocked request, one queued, and the next shed with
+// 503 + Retry-After.
+func TestQueueShed(t *testing.T) {
+	eng := engine.New(engine.Options{})
+	s := New(eng, Config{MaxInflight: 1, MaxQueue: 1})
+
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	h := s.withAdmission(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release // reads proceed immediately once release is closed
+		w.WriteHeader(http.StatusOK)
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	get := func() int {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Error(err)
+			return 0
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// First request takes the only slot and blocks inside the handler.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if code := get(); code != http.StatusOK {
+			t.Errorf("slot holder: %d", code)
+		}
+	}()
+	<-started
+
+	// Second request queues; wait until the queue registers it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if code := get(); code != http.StatusOK {
+			t.Errorf("queued request: %d", code)
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.admit.queued.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third request finds the queue full and is shed.
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf [1024]byte
+	n, _ := resp.Body.Read(buf[:])
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow request: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	if env := decodeEnvelope(t, buf[:n]); env.Error.Code != api.CodeOverloaded {
+		t.Errorf("code = %q, want %q", env.Error.Code, api.CodeOverloaded)
+	}
+	if got := s.mShed.Value(); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+
+	// Unblock: slot holder finishes, queued request runs to completion.
+	close(release)
+	wg.Wait()
+}
+
+// TestDeadlinePropagation configures a request timeout so short it has
+// always expired by the time the handler runs; Engine.QueryCtx must see
+// the dead context and the server must answer 504 deadline_exceeded.
+func TestDeadlinePropagation(t *testing.T) {
+	ts, _ := newConfiguredServer(t, Config{RequestTimeout: time.Nanosecond})
+	uploadPaperGraph(t, ts)
+
+	resp, body := do(t, "POST", ts.URL+"/api/v1/graphs/paper/query",
+		`{"dsl": "node A output", "k": 3}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline: %d %s, want 504", resp.StatusCode, body)
+	}
+	if env := decodeEnvelope(t, body); env.Error.Code != api.CodeDeadlineExceeded {
+		t.Errorf("code = %q, want %q", env.Error.Code, api.CodeDeadlineExceeded)
+	}
+}
+
+func TestErrorEnvelopeCodes(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+
+	cases := []struct {
+		name         string
+		method, path string
+		body         any
+		status       int
+		code         string
+	}{
+		{"graph_not_found", "GET", "/api/v1/graphs/nope", nil,
+			http.StatusNotFound, api.CodeGraphNotFound},
+		{"invalid_pattern", "POST", "/api/v1/graphs/paper/query",
+			`{"dsl": "frobnicate"}`, http.StatusBadRequest, api.CodeInvalidPattern},
+		{"invalid_request", "POST", "/api/v1/graphs/paper/query",
+			`{not json`, http.StatusBadRequest, api.CodeInvalidRequest},
+		{"graph_exists", "POST", "/api/v1/graphs/paper",
+			`{"generator": {"kind": "collab", "nodes": 4, "avg_degree": 1}}`,
+			http.StatusConflict, api.CodeGraphExists},
+		{"node_not_found", "DELETE", "/api/v1/graphs/paper/nodes/99999", nil,
+			http.StatusNotFound, api.CodeNodeNotFound},
+		{"index_not_found", "GET", "/api/v1/graphs/paper/index", nil,
+			http.StatusNotFound, api.CodeIndexNotFound},
+		{"partition_not_found", "GET", "/api/v1/graphs/paper/partitions", nil,
+			http.StatusNotFound, api.CodePartitionNotFound},
+		{"subscription_not_found", "DELETE", "/api/v1/graphs/paper/subscriptions/nope", nil,
+			http.StatusNotFound, api.CodeSubscriptionNotFound},
+		{"persistence_disabled", "POST", "/api/v1/admin/persistence/checkpoint", nil,
+			http.StatusConflict, api.CodePersistenceDisabled},
+		{"unknown_route", "GET", "/api/v1/definitely/not/a/route", nil,
+			http.StatusNotFound, api.CodeNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := do(t, tc.method, ts.URL+tc.path, tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d (%s)", resp.StatusCode, tc.status, body)
+			}
+			if env := decodeEnvelope(t, body); env.Error.Code != tc.code {
+				t.Errorf("code = %q, want %q (%s)", env.Error.Code, tc.code, body)
+			}
+		})
+	}
+}
+
+// TestLegacyAliasByteCompat runs the same requests against /api and
+// /api/v1 and requires byte-identical bodies (after zeroing the one
+// nondeterministic field, elapsed_us). The legacy surface must also
+// mark itself deprecated.
+func TestLegacyAliasByteCompat(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+
+	canon := func(body []byte) string {
+		var m map[string]any
+		if err := json.Unmarshal(body, &m); err != nil {
+			return string(body)
+		}
+		delete(m, "elapsed_us")
+		out, _ := json.Marshal(m)
+		return string(out)
+	}
+
+	reqs := []struct {
+		method, path string
+		body         any
+	}{
+		{"GET", "/graphs", nil},
+		{"GET", "/graphs/paper/stats", nil},
+		{"POST", "/graphs/paper/query", `{"dsl": "node A output", "k": 3}`},
+		{"POST", "/graphs/paper/query", `{"dsl": "node A output", "k": 3, "semantics": "dual"}`},
+		{"GET", "/cache/stats", nil},
+		{"GET", "/subscriptions/stats", nil},
+		{"GET", "/admin/persistence", nil},
+		{"GET", "/graphs/missing", nil}, // error envelope must match too
+	}
+	for _, rq := range reqs {
+		respV1, bodyV1 := do(t, rq.method, ts.URL+"/api/v1"+rq.path, rq.body)
+		respLegacy, bodyLegacy := do(t, rq.method, ts.URL+"/api"+rq.path, rq.body)
+		if respV1.StatusCode != respLegacy.StatusCode {
+			t.Errorf("%s %s: status v1=%d legacy=%d", rq.method, rq.path,
+				respV1.StatusCode, respLegacy.StatusCode)
+			continue
+		}
+		if c1, c2 := canon(bodyV1), canon(bodyLegacy); c1 != c2 {
+			t.Errorf("%s %s: bodies differ\n  v1:     %s\n  legacy: %s",
+				rq.method, rq.path, c1, c2)
+		}
+		if respLegacy.Header.Get("Deprecation") != "true" {
+			t.Errorf("%s %s: legacy response missing Deprecation header", rq.method, rq.path)
+		}
+		if respV1.Header.Get("Deprecation") != "" {
+			t.Errorf("%s %s: v1 response carries Deprecation header", rq.method, rq.path)
+		}
+	}
+}
+
+// TestSubscriptionEventsURLMatchesSurface checks events_url points back
+// into the surface that created the subscription.
+func TestSubscriptionEventsURLMatchesSurface(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+
+	for _, prefix := range []string{"/api", "/api/v1"} {
+		resp, body := do(t, "POST", ts.URL+prefix+"/graphs/paper/subscriptions",
+			`{"dsl": "node A output"}`)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("%s: create subscription: %d %s", prefix, resp.StatusCode, body)
+		}
+		var sub api.SubscribeResponse
+		if err := json.Unmarshal(body, &sub); err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("%s/graphs/paper/subscriptions/%s/events", prefix, sub.ID)
+		if sub.EventsURL != want {
+			t.Errorf("%s: events_url = %q, want %q", prefix, sub.EventsURL, want)
+		}
+		// The advertised URL must actually resolve on its surface.
+		req, _ := http.NewRequest("DELETE",
+			ts.URL+prefix+"/graphs/paper/subscriptions/"+sub.ID, nil)
+		dresp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp.Body.Close()
+		if dresp.StatusCode != http.StatusNoContent {
+			t.Errorf("%s: delete subscription: %d", prefix, dresp.StatusCode)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+	if resp, body := do(t, "POST", ts.URL+"/api/v1/graphs/paper/query",
+		`{"dsl": "node A output", "k": 3}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body := do(t, "GET", ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`expfinder_http_requests_total{route="create_graph",method="POST",code="201"} 1`,
+		`expfinder_http_requests_total{route="query",method="POST",code="200"} 1`,
+		`expfinder_http_request_duration_seconds_count{route="query"} 1`,
+		"# TYPE expfinder_http_request_duration_seconds histogram",
+		"expfinder_admission_shed_total 0",
+		"expfinder_admission_queue_depth 0",
+		"expfinder_graphs 1",
+		"expfinder_cache_bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestRequestIDAssignedAndEchoed(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, _ := do(t, "GET", ts.URL+"/api/v1/graphs", nil)
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("response missing X-Request-ID")
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/api/v1/graphs", nil)
+	req.Header.Set("X-Request-ID", "caller-supplied-1")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-ID"); got != "caller-supplied-1" {
+		t.Errorf("X-Request-ID = %q, want caller-supplied id echoed", got)
+	}
+}
+
+func TestSSEStillStreamsThroughChain(t *testing.T) {
+	// The SSE route opts out of admission; this guards the Flusher
+	// passthrough of the statusWriter wrapper under the full chain.
+	ts, _ := newTestServer(t)
+	uploadPaperGraph(t, ts)
+	resp, body := do(t, "POST", ts.URL+"/api/v1/graphs/paper/subscriptions",
+		`{"dsl": "node A output"}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create subscription: %d %s", resp.StatusCode, body)
+	}
+	var sub api.SubscribeResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	sresp, err := http.Get(ts.URL + sub.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	// The snapshot event must arrive without the handler returning —
+	// proof the Flush calls reach the wire through the wrappers.
+	buf := make([]byte, 256)
+	n, err := sresp.Body.Read(buf)
+	if err != nil || !strings.Contains(string(buf[:n]), "event: snapshot") {
+		t.Fatalf("first SSE read = %q, err %v", buf[:n], err)
+	}
+}

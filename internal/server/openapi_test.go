@@ -1,0 +1,133 @@
+package server
+
+// Drift check between the served route table and docs/openapi.yaml.
+// The spec is hand-maintained; this test is what keeps it honest. It
+// does a deliberately naive parse of the paths: section — path keys at
+// one indent level, HTTP methods one level deeper, operationId lines
+// below that — which is exactly the shape the spec is written in. If
+// the file is restructured enough to confuse this parser, the diff
+// output makes that obvious too.
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"expfinder/internal/api"
+	"expfinder/internal/engine"
+)
+
+type specOp struct {
+	method      string
+	path        string
+	operationID string
+}
+
+// parseOpenAPIPaths extracts (method, path, operationId) triples from
+// the spec's paths: section.
+func parseOpenAPIPaths(t *testing.T, file string) []specOp {
+	t.Helper()
+	f, err := os.Open(file)
+	if err != nil {
+		t.Fatalf("open spec: %v", err)
+	}
+	defer f.Close()
+
+	var (
+		ops     []specOp
+		inPaths bool
+		curPath string
+		cur     *specOp
+	)
+	methods := map[string]bool{"get": true, "post": true, "put": true, "patch": true, "delete": true}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		indent := len(line) - len(strings.TrimLeft(line, " "))
+		if indent == 0 {
+			inPaths = trimmed == "paths:"
+			continue
+		}
+		if !inPaths {
+			continue
+		}
+		switch {
+		case indent == 2 && strings.HasSuffix(trimmed, ":"):
+			curPath = strings.TrimSuffix(trimmed, ":")
+		case indent == 4 && strings.HasSuffix(trimmed, ":") && methods[strings.TrimSuffix(trimmed, ":")]:
+			ops = append(ops, specOp{
+				method: strings.ToUpper(strings.TrimSuffix(trimmed, ":")),
+				path:   curPath,
+			})
+			cur = &ops[len(ops)-1]
+		case strings.HasPrefix(trimmed, "operationId:") && cur != nil && cur.operationID == "":
+			cur.operationID = strings.TrimSpace(strings.TrimPrefix(trimmed, "operationId:"))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read spec: %v", err)
+	}
+	return ops
+}
+
+// TestOpenAPIMatchesRouteTable fails when docs/openapi.yaml and the
+// route table disagree: a route missing from the spec, a documented
+// operation the server does not register, or an operationId that does
+// not match the route name used in metrics and logs.
+func TestOpenAPIMatchesRouteTable(t *testing.T) {
+	specOps := parseOpenAPIPaths(t, filepath.Join("..", "..", "docs", "openapi.yaml"))
+	if len(specOps) == 0 {
+		t.Fatal("parsed zero operations from docs/openapi.yaml; spec missing or restructured")
+	}
+
+	documented := map[string]string{} // "METHOD path" -> operationId
+	for _, op := range specOps {
+		key := op.method + " " + op.path
+		if prev, dup := documented[key]; dup {
+			t.Errorf("spec documents %s twice (operationIds %q and %q)", key, prev, op.operationID)
+		}
+		documented[key] = op.operationID
+	}
+
+	s := New(engine.New(engine.Options{}))
+	served := map[string]string{} // "METHOD path" -> route name
+	for _, rt := range s.routes() {
+		served[rt.method+" "+api.Prefix+rt.pattern] = rt.name
+	}
+
+	for key, name := range served {
+		id, ok := documented[key]
+		if !ok {
+			t.Errorf("route %s (%s) is served but not documented in docs/openapi.yaml", key, name)
+			continue
+		}
+		if id != name {
+			t.Errorf("route %s: operationId %q in spec, route name %q in table", key, id, name)
+		}
+	}
+	for key, id := range documented {
+		if !strings.HasPrefix(key[strings.Index(key, " ")+1:], api.Prefix+"/") {
+			continue // spec may describe non-v1 endpoints; the table only serves v1
+		}
+		if _, ok := served[key]; !ok {
+			t.Errorf("spec documents %s (operationId %q) but the server does not register it", key, id)
+		}
+	}
+	if t.Failed() {
+		t.Log(driftHint(served, documented))
+	}
+}
+
+func driftHint(served, documented map[string]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "route table serves %d operations, spec documents %d; ", len(served), len(documented))
+	b.WriteString("update docs/openapi.yaml (operationId = route name) or internal/server/routes.go so they agree")
+	return b.String()
+}

@@ -12,22 +12,13 @@ import (
 	"io"
 	"net/http"
 
+	"expfinder/internal/api"
 	"expfinder/internal/partition"
 )
 
-// partitionRequest configures a partition build.
-type partitionRequest struct {
-	// Parts is the fragment count; 0 (or absent) means the engine's
-	// parallelism.
-	Parts int `json:"parts"`
-	// Strategy is "greedy" (default: locality-aware, fewer cut edges)
-	// or "hash" (stateless, perfectly balanced).
-	Strategy string `json:"strategy,omitempty"`
-}
-
 func (s *Server) buildPartitions(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	var req partitionRequest
+	var req api.PartitionRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
 		writeErr(w, http.StatusBadRequest, err)
 		return

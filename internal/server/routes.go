@@ -1,0 +1,77 @@
+package server
+
+// The declarative route table. Each entry names one operation once; the
+// table is mounted twice — under /api/v1 and under the deprecated
+// legacy /api prefix — through the same middleware chain, so the two
+// surfaces cannot diverge. The openapi drift test walks this table
+// against docs/openapi.yaml.
+
+import "net/http"
+
+// route is one API operation.
+type route struct {
+	method string
+	// pattern is the ServeMux path suffix mounted under each API prefix,
+	// using Go 1.22 {wildcard} segments (same syntax OpenAPI uses).
+	pattern string
+	// name labels the route in metrics, logs, and the OpenAPI spec
+	// (operationId).
+	name string
+	// admit subjects the route to admission control and the request
+	// timeout. Streams opt out: an SSE connection is long-lived by
+	// design and must not pin an execution slot or inherit a deadline.
+	admit bool
+	h     http.HandlerFunc
+}
+
+// routes returns the full API route table.
+func (s *Server) routes() []route {
+	return []route{
+		{"GET", "/graphs", "list_graphs", true, s.listGraphs},
+		{"POST", "/graphs/{name}", "create_graph", true, s.createGraph},
+		{"GET", "/graphs/{name}", "get_graph", true, s.getGraph},
+		{"DELETE", "/graphs/{name}", "delete_graph", true, s.deleteGraph},
+		{"GET", "/graphs/{name}/stats", "graph_stats", true, s.graphStats},
+		{"GET", "/graphs/{name}/dot", "graph_dot", true, s.graphDOT},
+		{"POST", "/graphs/{name}/query", "query", true, s.query},
+		{"POST", "/query/batch", "query_batch", true, s.queryBatch},
+		{"POST", "/graphs/{name}/updates", "apply_updates", true, s.applyUpdates},
+		{"POST", "/graphs/{name}/nodes", "add_node", true, s.addNode},
+		{"DELETE", "/graphs/{name}/nodes/{id}", "remove_node", true, s.removeNode},
+		{"POST", "/graphs/{name}/nodes/{id}/attrs", "set_node_attrs", true, s.setNodeAttrs},
+		{"POST", "/graphs/{name}/compress", "compress_graph", true, s.compressGraph},
+		{"DELETE", "/graphs/{name}/compress", "drop_compression", true, s.dropCompression},
+		{"POST", "/graphs/{name}/index", "build_index", true, s.buildIndex},
+		{"GET", "/graphs/{name}/index", "index_stats", true, s.indexStats},
+		{"DELETE", "/graphs/{name}/index", "drop_index", true, s.dropIndex},
+		{"POST", "/graphs/{name}/partitions", "build_partitions", true, s.buildPartitions},
+		{"GET", "/graphs/{name}/partitions", "partition_stats", true, s.partitionStats},
+		{"DELETE", "/graphs/{name}/partitions", "drop_partitions", true, s.dropPartitions},
+		{"POST", "/graphs/{name}/register", "register_query", true, s.registerQuery},
+		{"POST", "/graphs/{name}/subscriptions", "create_subscription", true, s.createSubscription},
+		{"GET", "/graphs/{name}/subscriptions", "list_subscriptions", true, s.listSubscriptions},
+		{"DELETE", "/graphs/{name}/subscriptions/{id}", "delete_subscription", true, s.deleteSubscription},
+		{"GET", "/graphs/{name}/subscriptions/{id}/events", "stream_events", false, s.streamEvents},
+		{"GET", "/subscriptions/stats", "subscription_stats", true, s.subscriptionStats},
+		{"GET", "/cache/stats", "cache_stats", true, s.cacheStats},
+		{"GET", "/admin/persistence", "persistence_stats", true, s.persistenceStats},
+		{"POST", "/admin/persistence/checkpoint", "force_checkpoint", true, s.forceCheckpoint},
+	}
+}
+
+// mount registers every route under prefix with the per-route slice of
+// the middleware chain: surface marker -> metrics -> auth -> rate limit
+// -> admission -> handler.
+func (s *Server) mount(mux *http.ServeMux, prefix string, rts []route) {
+	for _, rt := range rts {
+		var h http.Handler = rt.h
+		if rt.admit {
+			h = s.withAdmission(h)
+		}
+		h = s.withRateLimit(h)
+		h = s.withAuth(h)
+		h = s.withMetrics(rt.name, h)
+		h = s.withSurface(prefix, h)
+		mux.Handle(rt.method+" "+prefix+rt.pattern, h)
+	}
+}

@@ -1,503 +1,173 @@
 // Package server exposes ExpFinder over HTTP/JSON — the library's
-// replacement for the demo's desktop GUI. Every GUI capability maps onto
-// an endpoint: managing data graphs (Graph Editor), constructing and
-// running pattern queries (Pattern Builder), browsing result graphs and
-// top-K experts (match views, via DOT export), applying updates (dynamic
-// graphs), and compressing graphs (Graph Compressor). On top of the GUI
-// surface, continuous queries are exposed as subscription resources
-// whose match deltas stream over Server-Sent Events (see subscribe.go).
+// replacement for the demo's desktop GUI, hardened for production
+// traffic. Every GUI capability maps onto an endpoint: managing data
+// graphs (Graph Editor), constructing and running pattern queries
+// (Pattern Builder), browsing result graphs and top-K experts (match
+// views, via DOT export), applying updates (dynamic graphs), and
+// compressing graphs (Graph Compressor). Continuous queries are exposed
+// as subscription resources whose match deltas stream over Server-Sent
+// Events (see subscribe.go).
+//
+// The API is versioned: /api/v1 is the current surface, typed by
+// internal/api; the original /api/* paths remain as deprecated aliases
+// of the same handlers (emitting a Deprecation header) so pre-v1
+// clients keep working byte-for-byte. Every request flows through a
+// middleware chain — request id, structured logging, per-route metrics,
+// optional bearer auth, per-client rate limiting, and admission control
+// that sheds load with 503 + Retry-After before the engine's worker
+// pool saturates (see middleware.go and routes.go). GET /metrics serves
+// Prometheus-style text; /healthz and /metrics bypass auth, rate
+// limiting, and admission so probes keep answering under overload.
 package server
 
 import (
-	"encoding/json"
-	"errors"
-	"fmt"
-	"io"
+	"log"
 	"net/http"
+	"runtime"
 	"time"
 
-	"expfinder/internal/compress"
-	"expfinder/internal/distindex"
+	"expfinder/internal/api"
 	"expfinder/internal/engine"
-	"expfinder/internal/generator"
-	"expfinder/internal/graph"
-	"expfinder/internal/incremental"
-	"expfinder/internal/match"
-	"expfinder/internal/pattern"
-	"expfinder/internal/rank"
-	"expfinder/internal/strongsim"
-	"expfinder/internal/viz"
-	"expfinder/internal/wal"
+	"expfinder/internal/metrics"
 )
+
+// Config tunes the serving tier. The zero value (what bare New(eng)
+// uses) keeps every guardrail off except admission control, which
+// defaults to the engine's own execution parallelism — the point past
+// which accepting more work can only grow queues.
+type Config struct {
+	// AuthToken, when non-empty, requires "Authorization: Bearer <token>"
+	// on every API route (/healthz and /metrics stay open).
+	AuthToken string
+	// RateLimit is the per-client sustained request rate (requests per
+	// second); 0 disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket depth; 0 means one second of
+	// RateLimit (minimum 1).
+	RateBurst int
+	// MaxInflight bounds concurrently executing requests. 0 means
+	// GOMAXPROCS (matching the engine's default worker pool); negative
+	// disables admission control entirely.
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an execution slot; beyond it
+	// requests are shed with 503 + Retry-After. 0 means 4x MaxInflight.
+	MaxQueue int
+	// RequestTimeout is propagated as a context deadline into the engine
+	// on admission-controlled routes; 0 means no deadline.
+	RequestTimeout time.Duration
+	// Logger, when set, receives one structured line per request.
+	Logger *log.Logger
+}
 
 // Server wires an engine into an http.Handler.
 type Server struct {
-	eng *engine.Engine
-	mux *http.ServeMux
+	eng     *engine.Engine
+	cfg     Config
+	handler http.Handler
 	// recovery is the boot-time recovery summary /healthz reports; set
 	// once via SetRecoverySummary before serving, nil without one.
 	recovery *engine.RecoverySummary
+
+	registry *metrics.Registry
+	limiter  *rateLimiter
+	admit    *admission
+
+	mReqs        *metrics.Counter
+	mLatency     *metrics.Histogram
+	mShed        *metrics.Counter
+	mRateLimited *metrics.Counter
 }
 
-// New returns a server over the given engine.
-func New(eng *engine.Engine) *Server {
-	s := &Server{eng: eng, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /api/graphs", s.listGraphs)
-	s.mux.HandleFunc("POST /api/graphs/{name}", s.createGraph)
-	s.mux.HandleFunc("GET /api/graphs/{name}", s.getGraph)
-	s.mux.HandleFunc("DELETE /api/graphs/{name}", s.deleteGraph)
-	s.mux.HandleFunc("GET /api/graphs/{name}/stats", s.graphStats)
-	s.mux.HandleFunc("GET /api/graphs/{name}/dot", s.graphDOT)
-	s.mux.HandleFunc("POST /api/graphs/{name}/query", s.query)
-	s.mux.HandleFunc("POST /api/query/batch", s.queryBatch)
-	s.mux.HandleFunc("POST /api/graphs/{name}/updates", s.applyUpdates)
-	s.mux.HandleFunc("POST /api/graphs/{name}/nodes", s.addNode)
-	s.mux.HandleFunc("DELETE /api/graphs/{name}/nodes/{id}", s.removeNode)
-	s.mux.HandleFunc("POST /api/graphs/{name}/nodes/{id}/attrs", s.setNodeAttrs)
-	s.mux.HandleFunc("POST /api/graphs/{name}/compress", s.compressGraph)
-	s.mux.HandleFunc("DELETE /api/graphs/{name}/compress", s.dropCompression)
-	s.mux.HandleFunc("POST /api/graphs/{name}/index", s.buildIndex)
-	s.mux.HandleFunc("GET /api/graphs/{name}/index", s.indexStats)
-	s.mux.HandleFunc("DELETE /api/graphs/{name}/index", s.dropIndex)
-	s.mux.HandleFunc("POST /api/graphs/{name}/partitions", s.buildPartitions)
-	s.mux.HandleFunc("GET /api/graphs/{name}/partitions", s.partitionStats)
-	s.mux.HandleFunc("DELETE /api/graphs/{name}/partitions", s.dropPartitions)
-	s.mux.HandleFunc("POST /api/graphs/{name}/register", s.registerQuery)
-	s.mux.HandleFunc("POST /api/graphs/{name}/subscriptions", s.createSubscription)
-	s.mux.HandleFunc("GET /api/graphs/{name}/subscriptions", s.listSubscriptions)
-	s.mux.HandleFunc("DELETE /api/graphs/{name}/subscriptions/{id}", s.deleteSubscription)
-	s.mux.HandleFunc("GET /api/graphs/{name}/subscriptions/{id}/events", s.streamEvents)
-	s.mux.HandleFunc("GET /api/subscriptions/stats", s.subscriptionStats)
-	s.mux.HandleFunc("GET /api/cache/stats", s.cacheStats)
-	s.mux.HandleFunc("GET /api/admin/persistence", s.persistenceStats)
-	s.mux.HandleFunc("POST /api/admin/persistence/checkpoint", s.forceCheckpoint)
-	s.mux.HandleFunc("GET /healthz", s.healthz)
+// New returns a server over the given engine. With no Config the
+// serving tier runs open (no auth, no rate limit) with default
+// admission control — the pre-v1 behavior plus overload protection.
+func New(eng *engine.Engine, cfg ...Config) *Server {
+	var c Config
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
+	s := &Server{eng: eng, cfg: c, registry: metrics.NewRegistry()}
+
+	if c.RateLimit > 0 {
+		s.limiter = newRateLimiter(c.RateLimit, c.RateBurst)
+	}
+	if c.MaxInflight >= 0 {
+		inflight := c.MaxInflight
+		if inflight == 0 {
+			inflight = runtime.GOMAXPROCS(0)
+		}
+		s.admit = newAdmission(inflight, c.MaxQueue)
+	}
+
+	s.mReqs = s.registry.NewCounter("expfinder_http_requests_total",
+		"HTTP requests served, by route, method, and status code.",
+		"route", "method", "code")
+	s.mLatency = s.registry.NewHistogram("expfinder_http_request_duration_seconds",
+		"HTTP request latency in seconds, by route.", nil, "route")
+	s.mShed = s.registry.NewCounter("expfinder_admission_shed_total",
+		"Requests shed by admission control with 503.")
+	s.mRateLimited = s.registry.NewCounter("expfinder_rate_limited_total",
+		"Requests rejected by the per-client rate limiter with 429.")
+	s.registry.NewGaugeFunc("expfinder_admission_queue_depth",
+		"Requests waiting for an execution slot.", func() float64 {
+			if s.admit == nil {
+				return 0
+			}
+			return float64(s.admit.queued.Load())
+		})
+	s.registry.NewGaugeFunc("expfinder_admission_inflight",
+		"Requests holding an execution slot.", func() float64 {
+			if s.admit == nil {
+				return 0
+			}
+			return float64(len(s.admit.slots))
+		})
+	s.registry.NewGaugeFunc("expfinder_graphs",
+		"Graphs managed by the engine.", func() float64 {
+			return float64(len(s.eng.ListGraphs()))
+		})
+	s.registry.NewGaugeFunc("expfinder_subscriptions",
+		"Live continuous-query subscriptions.", func() float64 {
+			return float64(s.eng.SubscriptionStats().Subscriptions)
+		})
+	s.registry.NewGaugeFunc("expfinder_cache_bytes",
+		"Accounted bytes resident in the result cache.", func() float64 {
+			return float64(s.eng.CacheStats().Bytes)
+		})
+	s.registry.NewGaugeFunc("expfinder_cache_entries",
+		"Entries resident in the result cache.", func() float64 {
+			return float64(s.eng.CacheStats().Entries)
+		})
+	s.registry.NewGaugeFunc("expfinder_cache_hits",
+		"Result-cache hits since boot.", func() float64 {
+			return float64(s.eng.CacheStats().Hits)
+		})
+	s.registry.NewGaugeFunc("expfinder_cache_misses",
+		"Result-cache misses since boot.", func() float64 {
+			return float64(s.eng.CacheStats().Misses)
+		})
+
+	mux := http.NewServeMux()
+	rts := s.routes()
+	s.mount(mux, api.Prefix, rts)
+	s.mount(mux, api.LegacyPrefix, rts)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.Handle("GET /metrics", s.registry.Handler())
+	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeEnvelope(w, http.StatusNotFound, api.CodeNotFound,
+			"no such route: "+r.Method+" "+r.URL.Path, nil)
+	}))
+	s.handler = s.withObservability(mux)
 	return s
 }
 
+// Metrics exposes the server's metrics registry (e.g. for tests or for
+// embedding additional gauges before serving).
+func (s *Server) Metrics() *metrics.Registry { return s.registry }
+
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
-
-type errBody struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, body any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(body)
-}
-
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errBody{Error: err.Error()})
-}
-
-// statusFor maps engine errors to HTTP statuses.
-func statusFor(err error) int {
-	switch {
-	case errors.Is(err, engine.ErrNoGraph), errors.Is(err, engine.ErrNoIndex),
-		errors.Is(err, engine.ErrNoPartition):
-		return http.StatusNotFound
-	case errors.Is(err, engine.ErrGraphExists), errors.Is(err, wal.ErrExists):
-		return http.StatusConflict
-	default:
-		return http.StatusBadRequest
-	}
-}
-
-func (s *Server) listGraphs(w http.ResponseWriter, r *http.Request) {
-	type entry struct {
-		Name  string `json:"name"`
-		Nodes int    `json:"nodes"`
-		Edges int    `json:"edges"`
-	}
-	var out []entry
-	for _, name := range s.eng.ListGraphs() {
-		var en entry
-		if err := s.eng.WithGraph(name, func(g *graph.Graph) error {
-			en = entry{Name: name, Nodes: g.NumNodes(), Edges: g.NumEdges()}
-			return nil
-		}); err != nil {
-			continue
-		}
-		out = append(out, en)
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-// createGraphRequest uploads a graph directly or asks for a generated one.
-type createGraphRequest struct {
-	// Graph, when set, is a full graph in the standard JSON form.
-	Graph json.RawMessage `json:"graph,omitempty"`
-	// Generator, when set, generates a synthetic graph instead.
-	Generator *struct {
-		Kind      string  `json:"kind"`
-		Nodes     int     `json:"nodes"`
-		AvgDegree float64 `json:"avg_degree"`
-		Seed      int64   `json:"seed"`
-	} `json:"generator,omitempty"`
-}
-
-func (s *Server) createGraph(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	var req createGraphRequest
-	if err := json.Unmarshal(body, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
-		return
-	}
-	var g *graph.Graph
-	switch {
-	case req.Generator != nil:
-		g, err = generator.Generate(generator.Kind(req.Generator.Kind), generator.Config{
-			Nodes: req.Generator.Nodes, AvgDegree: req.Generator.AvgDegree, Seed: req.Generator.Seed,
-		})
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-	case req.Graph != nil:
-		g = graph.New(0)
-		if err := g.UnmarshalJSON(req.Graph); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-	default:
-		writeErr(w, http.StatusBadRequest, errors.New("request needs either graph or generator"))
-		return
-	}
-	if err := s.eng.AddGraph(name, g); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusCreated, map[string]any{
-		"name": name, "nodes": g.NumNodes(), "edges": g.NumEdges(),
-	})
-}
-
-// Read endpoints serialize into a buffer inside the graph's read scope
-// and write to the client after releasing it: streaming to a slow client
-// under the lock would let that client stall the graph's writers (and,
-// via RWMutex writer preference, every other reader).
-
-func (s *Server) getGraph(w http.ResponseWriter, r *http.Request) {
-	var buf jsonBuilder
-	err := s.eng.WithGraph(r.PathValue("name"), func(g *graph.Graph) error {
-		return g.WriteJSON(&buf)
-	})
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	_, _ = w.Write(buf.buf)
-}
-
-func (s *Server) deleteGraph(w http.ResponseWriter, r *http.Request) {
-	if err := s.eng.RemoveGraph(r.PathValue("name")); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	w.WriteHeader(http.StatusNoContent)
-}
-
-func (s *Server) graphStats(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	var body map[string]any
-	err := s.eng.WithGraph(name, func(g *graph.Graph) error {
-		st := g.ComputeStats()
-		body = map[string]any{
-			"nodes": st.Nodes, "edges": st.Edges,
-			"max_out_degree": st.MaxOutDeg, "max_in_degree": st.MaxInDeg,
-			"labels": st.Labels, "version": g.Version(),
-		}
-		return nil
-	})
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	if ixStats, err := s.eng.IndexStats(name); err == nil {
-		body["index"] = ixStats
-	}
-	if ptStats, err := s.eng.PartitionStats(name); err == nil {
-		body["partitions"] = ptStats
-	}
-	writeJSON(w, http.StatusOK, body)
-}
-
-func (s *Server) graphDOT(w http.ResponseWriter, r *http.Request) {
-	var buf jsonBuilder
-	err := s.eng.WithGraph(r.PathValue("name"), func(g *graph.Graph) error {
-		return viz.WriteGraph(&buf, g, viz.Options{MaxNodes: 500, DrillDown: r.URL.Query().Get("drilldown") == "1"})
-	})
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	w.Header().Set("Content-Type", "text/vnd.graphviz")
-	_, _ = w.Write(buf.buf)
-}
-
-// queryRequest carries a pattern in JSON form or DSL text, plus K and an
-// optional matching semantics ("bounded" default, or "dual": additionally
-// enforce ancestor obligations).
-type queryRequest struct {
-	Pattern   json.RawMessage `json:"pattern,omitempty"`
-	DSL       string          `json:"dsl,omitempty"`
-	K         int             `json:"k"`
-	Semantics string          `json:"semantics,omitempty"`
-	// Metric selects the ranking: avg-distance (default), closeness,
-	// degree, or pagerank.
-	Metric string `json:"metric,omitempty"`
-}
-
-// metricByName resolves a ranking metric; "" means the paper's default.
-func metricByName(name string) (rank.Metric, error) {
-	switch name {
-	case "", rank.AvgDistance{}.Name():
-		return rank.AvgDistance{}, nil
-	case rank.Closeness{}.Name():
-		return rank.Closeness{}, nil
-	case rank.Degree{}.Name():
-		return rank.Degree{}, nil
-	case (rank.PageRank{}).Name():
-		return rank.PageRank{}, nil
-	default:
-		return nil, fmt.Errorf("unknown metric %q", name)
-	}
-}
-
-// queryResponse is the full query answer.
-type queryResponse struct {
-	Plan      string             `json:"plan"`
-	Source    string             `json:"source"`
-	ElapsedUS int64              `json:"elapsed_us"`
-	Matches   map[string][]int64 `json:"matches"`
-	TopK      []topEntry         `json:"top_k"`
-	ResultDOT string             `json:"result_dot,omitempty"`
-}
-
-type topEntry struct {
-	Node      int64   `json:"node"`
-	Name      string  `json:"name,omitempty"`
-	Rank      float64 `json:"rank"`
-	Connected int     `json:"connected"`
-}
-
-func parsePattern(req queryRequest) (*pattern.Pattern, error) {
-	switch {
-	case req.DSL != "":
-		return pattern.Parse(req.DSL)
-	case req.Pattern != nil:
-		q := pattern.New()
-		if err := q.UnmarshalJSON(req.Pattern); err != nil {
-			return nil, err
-		}
-		return q, nil
-	default:
-		return nil, errors.New("request needs pattern or dsl")
-	}
-}
-
-func (s *Server) query(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	var req queryRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	q, err := parsePattern(req)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	metric, err := metricByName(req.Metric)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	var res *engine.Result
-	switch req.Semantics {
-	case "", "bounded":
-		res, err = s.eng.QueryCtx(r.Context(), name, q, req.K)
-		if err != nil {
-			writeErr(w, statusFor(err), err)
-			return
-		}
-		if req.Metric != "" && req.Metric != (rank.AvgDistance{}).Name() {
-			res.TopK = rank.TopKByMetricWithResultGraph(res.ResultGraph, q, res.Relation, req.K, metric)
-		}
-	case "dual":
-		// Dual simulation bypasses the engine pipeline (no cache or
-		// compression routing is defined for it); evaluated directly
-		// inside the graph's read scope — through the distance index
-		// when a fresh *complete* one is registered (a partial index
-		// would pay a per-pair BFS fallback for every label-undecided
-		// witness check, easily dwarfing the single traversal it
-		// replaces). The index pointer is fetched before entering the
-		// read scope (no nested engine locks); freshness is re-checked
-		// inside it.
-		if err := q.Validate(); err != nil {
-			writeErr(w, http.StatusBadRequest, err)
-			return
-		}
-		ix, ixErr := s.eng.Index(name)
-		err = s.eng.WithGraph(name, func(g *graph.Graph) error {
-			start := time.Now()
-			var rel *match.Relation
-			source := engine.SourceDirect
-			if ixErr == nil && ix.Complete() && ix.Fresh(g) {
-				rel = strongsim.DualIndexed(g, q, ix)
-				source = engine.SourceIndexed
-			} else {
-				rel = strongsim.Dual(g, q)
-			}
-			rg := match.BuildResultGraph(g, q, rel)
-			res = &engine.Result{
-				Relation:    rel,
-				ResultGraph: rg,
-				TopK:        rank.TopKByMetricWithResultGraph(rg, q, rel, req.K, metric),
-				Plan:        "dual-simulation",
-				Source:      source,
-				Elapsed:     time.Since(start),
-			}
-			return nil
-		})
-		if err != nil {
-			writeErr(w, statusFor(err), err)
-			return
-		}
-	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown semantics %q", req.Semantics))
-		return
-	}
-	writeJSON(w, http.StatusOK, s.render(name, q, res, r.URL.Query().Get("dot") == "1"))
-}
-
-// render builds the wire response inside the graph's read scope so
-// display-name lookups and DOT export never race engine mutations. If
-// the graph was removed after the query answered (against its
-// pre-removal snapshot), the result is still rendered — just without
-// graph-resident display names or DOT.
-func (s *Server) render(name string, q *pattern.Pattern, res *engine.Result, withDot bool) queryResponse {
-	var resp queryResponse
-	if err := s.eng.WithGraph(name, func(g *graph.Graph) error {
-		resp = responseFor(g, q, res, withDot)
-		return nil
-	}); err != nil {
-		resp = responseFor(nil, q, res, false)
-	}
-	return resp
-}
-
-// responseFor renders an engine result into the wire form shared by the
-// single-query and batch endpoints. g may be nil (graph removed after
-// the query answered): matches and ranks still render, display names
-// and DOT are skipped.
-func responseFor(g *graph.Graph, q *pattern.Pattern, res *engine.Result, withDot bool) queryResponse {
-	resp := queryResponse{
-		Plan:      string(res.Plan),
-		Source:    string(res.Source),
-		ElapsedUS: res.Elapsed.Microseconds(),
-		Matches:   map[string][]int64{},
-	}
-	for i := 0; i < q.NumNodes(); i++ {
-		idx := pattern.NodeIdx(i)
-		ids := res.Relation.MatchesOf(idx)
-		out := make([]int64, len(ids))
-		for j, id := range ids {
-			out[j] = int64(id)
-		}
-		resp.Matches[q.Node(idx).Name] = out
-	}
-	for _, t := range res.TopK {
-		entry := topEntry{Node: int64(t.Node), Rank: t.Rank, Connected: t.Connected}
-		if g != nil {
-			if v, ok := g.Attr(t.Node, "name"); ok {
-				entry.Name = v.Str()
-			}
-		}
-		resp.TopK = append(resp.TopK, entry)
-	}
-	if withDot && g != nil {
-		var dot jsonBuilder
-		if err := viz.WriteTopK(&dot, g, res.ResultGraph, res.TopK, viz.Options{}); err == nil {
-			resp.ResultDOT = dot.String()
-		}
-	}
-	return resp
-}
-
-// batchQuery is one query of a batch request: a target graph plus the
-// single-endpoint pattern/DSL, K, and metric fields (bounded semantics
-// only — dual simulation has no engine pipeline to dispatch through).
-type batchQuery struct {
-	Graph   string          `json:"graph"`
-	Pattern json.RawMessage `json:"pattern,omitempty"`
-	DSL     string          `json:"dsl,omitempty"`
-	K       int             `json:"k"`
-	Metric  string          `json:"metric,omitempty"`
-}
-
-// batchEntry is one outcome: either Error or the embedded response.
-type batchEntry struct {
-	queryResponse
-	Error string `json:"error,omitempty"`
-}
-
-// queryBatch evaluates many queries in one request through the engine's
-// bounded parallel executor. Outcomes come back in request order, and a
-// failed query never fails the batch.
-func (s *Server) queryBatch(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Queries []batchQuery `json:"queries"`
-	}
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	if len(req.Queries) == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("request needs a non-empty queries list"))
-		return
-	}
-	entries := make([]batchEntry, len(req.Queries))
-	patterns := make([]*pattern.Pattern, len(req.Queries))
-	metrics := make([]rank.Metric, len(req.Queries))
-	var reqs []engine.QueryRequest
-	var at []int // reqs index -> entries index
-	for i, bq := range req.Queries {
-		q, err := parsePattern(queryRequest{Pattern: bq.Pattern, DSL: bq.DSL})
-		if err == nil {
-			metrics[i], err = metricByName(bq.Metric)
-		}
-		if err != nil {
-			entries[i].Error = err.Error()
-			continue
-		}
-		patterns[i] = q
-		reqs = append(reqs, engine.QueryRequest{Graph: bq.Graph, Pattern: q, K: bq.K})
-		at = append(at, i)
-	}
-	outcomes := s.eng.QueryBatch(r.Context(), reqs)
-	for j, oc := range outcomes {
-		i := at[j]
-		if oc.Err != nil {
-			entries[i].Error = oc.Err.Error()
-			continue
-		}
-		bq := req.Queries[i]
-		if bq.Metric != "" && bq.Metric != (rank.AvgDistance{}).Name() {
-			oc.Result.TopK = rank.TopKByMetricWithResultGraph(
-				oc.Result.ResultGraph, patterns[i], oc.Result.Relation, bq.K, metrics[i])
-		}
-		entries[i].queryResponse = s.render(bq.Graph, patterns[i], oc.Result, false)
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"results": entries})
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.handler.ServeHTTP(w, r)
 }
 
 // jsonBuilder is a tiny strings.Builder alias implementing io.Writer.
@@ -508,247 +178,3 @@ func (b *jsonBuilder) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 func (b *jsonBuilder) String() string { return string(b.buf) }
-
-// updateRequest applies a batch of edge updates.
-type updateRequest struct {
-	Ops []struct {
-		Op   string `json:"op"` // "insert" | "delete"
-		From int64  `json:"from"`
-		To   int64  `json:"to"`
-	} `json:"ops"`
-}
-
-func (s *Server) applyUpdates(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	var req updateRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	ops := make([]incremental.Update, 0, len(req.Ops))
-	for _, o := range req.Ops {
-		switch o.Op {
-		case "insert":
-			ops = append(ops, incremental.Insert(graph.NodeID(o.From), graph.NodeID(o.To)))
-		case "delete":
-			ops = append(ops, incremental.Delete(graph.NodeID(o.From), graph.NodeID(o.To)))
-		default:
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown op %q", o.Op))
-			return
-		}
-	}
-	deltas, notified, err := s.eng.PushUpdates(name, ops)
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	type deltaBody struct {
-		PatternHash string `json:"pattern_hash"`
-		Added       int    `json:"added"`
-		Removed     int    `json:"removed"`
-	}
-	out := make([]deltaBody, 0, len(deltas))
-	for _, d := range deltas {
-		out = append(out, deltaBody{PatternHash: d.PatternHash, Added: len(d.Added), Removed: len(d.Removed)})
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"applied": len(ops), "deltas": out,
-		// How many live subscriptions were handed a match delta.
-		"notified": notified,
-	})
-}
-
-// addNodeRequest creates one node.
-type addNodeRequest struct {
-	Label string                 `json:"label"`
-	Attrs map[string]graph.Value `json:"attrs,omitempty"`
-}
-
-func (s *Server) addNode(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	var req addNodeRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	attrs := graph.Attrs(req.Attrs)
-	id, err := s.eng.AddNode(name, req.Label, attrs)
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusCreated, map[string]int64{"id": int64(id)})
-}
-
-func parseNodeID(r *http.Request) (graph.NodeID, error) {
-	raw := r.PathValue("id")
-	id, err := json.Number(raw).Int64()
-	if err != nil || id < 0 {
-		return graph.Invalid, fmt.Errorf("bad node id %q", raw)
-	}
-	return graph.NodeID(id), nil
-}
-
-func (s *Server) removeNode(w http.ResponseWriter, r *http.Request) {
-	id, err := parseNodeID(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	name := r.PathValue("name")
-	if err := s.eng.RemoveNode(name, id); err != nil {
-		status := statusFor(err)
-		if errors.Is(err, graph.ErrNoNode) {
-			status = http.StatusNotFound
-		}
-		writeErr(w, status, err)
-		return
-	}
-	// Node removals invalidate standing queries lazily; flush here so
-	// subscribers streaming events see the delta now rather than at the
-	// next edge-update batch.
-	_, _ = s.eng.FlushSubscriptions(name)
-	w.WriteHeader(http.StatusNoContent)
-}
-
-func (s *Server) setNodeAttrs(w http.ResponseWriter, r *http.Request) {
-	id, err := parseNodeID(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	var attrs map[string]graph.Value
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&attrs); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	name := r.PathValue("name")
-	for key, v := range attrs {
-		if err := s.eng.SetNodeAttr(name, id, key, v); err != nil {
-			status := statusFor(err)
-			if errors.Is(err, graph.ErrNoNode) {
-				status = http.StatusNotFound
-			}
-			writeErr(w, status, err)
-			return
-		}
-	}
-	// One flush after the whole attribute batch (see removeNode).
-	_, _ = s.eng.FlushSubscriptions(name)
-	w.WriteHeader(http.StatusNoContent)
-}
-
-// compressRequest selects a compression scheme and attribute view.
-type compressRequest struct {
-	Scheme string   `json:"scheme"` // "bisimulation" (default) | "simulation-equivalence"
-	View   []string `json:"view,omitempty"`
-	// FullView distinguishes all attributes (ignores View).
-	FullView bool `json:"full_view,omitempty"`
-}
-
-func (s *Server) compressGraph(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	var req compressRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	scheme := compress.Bisimulation
-	if req.Scheme == compress.SimulationEquivalence.String() {
-		scheme = compress.SimulationEquivalence
-	} else if req.Scheme != "" && req.Scheme != compress.Bisimulation.String() {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown scheme %q", req.Scheme))
-		return
-	}
-	var view compress.View
-	if !req.FullView {
-		view = compress.View(req.View)
-		if req.View == nil {
-			view = compress.View{}
-		}
-	}
-	c, err := s.eng.CompressGraph(name, scheme, view)
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"scheme": scheme.String(),
-		"nodes":  c.Graph().NumNodes(),
-		"edges":  c.Graph().NumEdges(),
-		"ratio":  c.Ratio(),
-	})
-}
-
-func (s *Server) dropCompression(w http.ResponseWriter, r *http.Request) {
-	if err := s.eng.DropCompression(r.PathValue("name")); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	w.WriteHeader(http.StatusNoContent)
-}
-
-// indexRequest configures a distance-index build.
-type indexRequest struct {
-	// Landmarks caps the landmark count; 0 (or absent) indexes every
-	// node, making all bounded-reachability answers label-only.
-	Landmarks int `json:"landmarks"`
-}
-
-func (s *Server) buildIndex(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	var req indexRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	st, err := s.eng.BuildIndex(name, distindex.Options{Landmarks: req.Landmarks})
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, st)
-}
-
-func (s *Server) indexStats(w http.ResponseWriter, r *http.Request) {
-	st, err := s.eng.IndexStats(r.PathValue("name"))
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, st)
-}
-
-func (s *Server) dropIndex(w http.ResponseWriter, r *http.Request) {
-	if err := s.eng.DropIndex(r.PathValue("name")); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	w.WriteHeader(http.StatusNoContent)
-}
-
-func (s *Server) registerQuery(w http.ResponseWriter, r *http.Request) {
-	name := r.PathValue("name")
-	var req queryRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	q, err := parsePattern(req)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
-	if err := s.eng.RegisterQuery(name, q); err != nil {
-		writeErr(w, statusFor(err), err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"registered": q.Hash()})
-}
-
-func (s *Server) cacheStats(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.CacheStats()
-	writeJSON(w, http.StatusOK, map[string]int{
-		"hits": st.Hits, "misses": st.Misses, "evictions": st.Evictions, "entries": st.Entries,
-	})
-}

@@ -12,35 +12,23 @@ import (
 	"fmt"
 	"net/http"
 
+	"expfinder/internal/api"
 	"expfinder/internal/match"
 	"expfinder/internal/pattern"
 	"expfinder/internal/rank"
 	"expfinder/internal/subscribe"
 )
 
-// subscribeRequest registers a standing query.
-type subscribeRequest struct {
-	Pattern json.RawMessage `json:"pattern,omitempty"`
-	DSL     string          `json:"dsl,omitempty"`
-	// K re-ranks the top-K experts on every event (0 disables ranking).
-	K int `json:"k"`
-	// Buffer bounds unconsumed events (0 = default); overflow collapses
-	// the backlog into one resync snapshot.
-	Buffer int `json:"buffer"`
-	// NoCoalesce preserves every delta instead of merging bursts.
-	NoCoalesce bool `json:"no_coalesce"`
-}
-
 func (s *Server) createSubscription(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	var req subscribeRequest
+	var req api.SubscribeRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	q, err := parsePattern(queryRequest{Pattern: req.Pattern, DSL: req.DSL})
+	q, err := parsePattern(api.QueryRequest{Pattern: req.Pattern, DSL: req.DSL})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeCode(w, http.StatusBadRequest, api.CodeInvalidPattern, err)
 		return
 	}
 	sub, err := s.eng.Subscribe(name, q, subscribe.Options{
@@ -50,10 +38,13 @@ func (s *Server) createSubscription(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]string{
-		"id":           sub.ID(),
-		"pattern_hash": sub.PatternHash(),
-		"events_url":   fmt.Sprintf("/api/graphs/%s/subscriptions/%s/events", name, sub.ID()),
+	// events_url points back into the surface the client came through, so
+	// legacy clients keep legacy URLs and v1 clients get v1 URLs.
+	writeJSON(w, http.StatusCreated, api.SubscribeResponse{
+		ID:          sub.ID(),
+		PatternHash: sub.PatternHash(),
+		EventsURL: fmt.Sprintf("%s/graphs/%s/subscriptions/%s/events",
+			apiPrefix(r.Context()), name, sub.ID()),
 	})
 }
 
