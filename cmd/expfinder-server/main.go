@@ -8,7 +8,7 @@
 //	                 [-data-dir DIR] [-fsync always|interval|off]
 //	                 [-auth-token TOKEN] [-rate-limit N] [-rate-burst N]
 //	                 [-max-inflight N] [-max-queue N] [-request-timeout D]
-//	                 [-cache-bytes N]
+//	                 [-cache-bytes N] [-trace-sample F] [-slow-query D] [-debug]
 //
 // With -data-dir set, every graph mutation is durable: mutations append
 // to a per-graph write-ahead log under DIR, a background checkpointer
@@ -24,6 +24,16 @@
 // responses carry the uniform envelope
 // {"error":{"code","message","details"}} with stable machine-readable
 // codes.
+//
+// Observability: any query request can ask for an inline execution
+// profile with ?trace=1 (or X-Trace: 1) — the response then carries the
+// span tree of the whole request: plan selection, fixpoint rounds,
+// partition supersteps, oracle probes, cache hits, WAL appends.
+// -trace-sample F additionally traces a random fraction of all requests
+// into a bounded ring served at GET /api/v1/debug/traces, -slow-query D
+// logs and retains requests over the threshold (GET /api/v1/debug/slow),
+// and -debug mounts the Go pprof handlers under /debug/pprof/ (behind
+// the bearer token when one is configured).
 //
 // API overview (current surface, mounted at /api/v1; the legacy /api/*
 // paths serve the same handlers and answer with a Deprecation header):
@@ -57,6 +67,8 @@
 //	GET    /api/v1/cache/stats                 result-cache counters (byte-budgeted LRU)
 //	GET    /api/v1/admin/persistence           durability stats (WAL sizes, snapshots)
 //	POST   /api/v1/admin/persistence/checkpoint  force a checkpoint ({"graph": ...} or all)
+//	GET    /api/v1/debug/traces                recent traced requests (span trees)
+//	GET    /api/v1/debug/slow                  slow-query log (over -slow-query)
 //	GET    /healthz                            readiness + boot recovery summary (no auth)
 //	GET    /metrics                            Prometheus-style metrics (no auth)
 package main
@@ -95,6 +107,9 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently executing requests (0 = GOMAXPROCS, negative = no admission control)")
 	maxQueue := flag.Int("max-queue", 0, "max requests queued for an execution slot before shedding with 503 (0 = 4x max-inflight)")
 	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline propagated into the engine (0 = none)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of requests traced into the debug ring (0 = explicit ?trace=1 only, 1 = all)")
+	slowQuery := flag.Duration("slow-query", 0, "log and retain requests slower than this (0 = off)")
+	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/ (bearer-authed when -auth-token is set)")
 	flag.Parse()
 
 	opts := engine.Options{CacheSize: *cacheSize, CacheBytes: *cacheBytes, Parallelism: *parallelism}
@@ -184,6 +199,9 @@ func main() {
 		MaxInflight:    *maxInflight,
 		MaxQueue:       *maxQueue,
 		RequestTimeout: *requestTimeout,
+		TraceSample:    *traceSample,
+		SlowQuery:      *slowQuery,
+		Debug:          *debug,
 		Logger:         log.Default(),
 	})
 	// /healthz reports the boot recovery outcome; readiness is implied by

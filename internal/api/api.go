@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 
 	"expfinder/internal/graph"
+	"expfinder/internal/trace"
 )
 
 // Version is the current API version prefix.
@@ -85,6 +86,9 @@ type QueryResponse struct {
 	Matches   map[string][]int64 `json:"matches"`
 	TopK      []TopEntry         `json:"top_k"`
 	ResultDOT string             `json:"result_dot,omitempty"`
+	// Trace is the execution span tree, present only when the request
+	// opted in with ?trace=1 or X-Trace: 1.
+	Trace *trace.TraceJSON `json:"trace,omitempty"`
 }
 
 // BatchQuery is one query of a batch request: a target graph plus the
@@ -113,6 +117,23 @@ type BatchEntry struct {
 // BatchResponse returns batch outcomes in request order.
 type BatchResponse struct {
 	Results []BatchEntry `json:"results"`
+	// Trace is the whole batch's execution span tree (one engine.query
+	// span per query), present only when the request opted in with
+	// ?trace=1 or X-Trace: 1.
+	Trace *trace.TraceJSON `json:"trace,omitempty"`
+}
+
+// DebugTracesResponse is the recent-trace ring served by
+// GET /debug/traces, newest first.
+type DebugTracesResponse struct {
+	Traces []*trace.TraceJSON `json:"traces"`
+}
+
+// DebugSlowResponse is the slow-query log served by GET /debug/slow,
+// newest first. ThresholdUS is the configured threshold (0 = disabled).
+type DebugSlowResponse struct {
+	ThresholdUS int64              `json:"threshold_us"`
+	Entries     []*trace.SlowEntry `json:"entries"`
 }
 
 // UpdateOp is one edge mutation.

@@ -7,11 +7,13 @@
 package bsim
 
 import (
+	"context"
 	"sync"
 
 	"expfinder/internal/graph"
 	"expfinder/internal/match"
 	"expfinder/internal/pattern"
+	"expfinder/internal/trace"
 )
 
 // Oracle answers exact bounded-reachability queries: whether v lies in
@@ -64,7 +66,7 @@ const bfsNodeCost = 4
 // in v's bounded *in*-ball loses one unit of support on the corresponding
 // edge. Worst case O(|Eq| * |V| * (|V|+|E|)).
 func Compute(g *graph.Graph, q *pattern.Pattern) *match.Relation {
-	s := newState(g, q, 1, nil)
+	s := newState(context.Background(), g, q, 1, nil)
 	return s.relation()
 }
 
@@ -80,7 +82,16 @@ func Compute(g *graph.Graph, q *pattern.Pattern) *match.Relation {
 // relation and the refinement is confluent, so the relation is identical
 // to Compute's for every worker count.
 func ComputeParallel(g *graph.Graph, q *pattern.Pattern, workers int) *match.Relation {
-	s := newState(g, q, workers, nil)
+	return ComputeParallelCtx(context.Background(), g, q, workers)
+}
+
+// ComputeParallelCtx is ComputeParallel under a (possibly traced)
+// context: when ctx carries an active trace span, the three refinement
+// phases record child spans with their candidate/removal counts. The
+// relation is byte-identical with and without tracing — spans only
+// observe.
+func ComputeParallelCtx(ctx context.Context, g *graph.Graph, q *pattern.Pattern, workers int) *match.Relation {
+	s := newState(ctx, g, q, workers, nil)
 	return s.relation()
 }
 
@@ -93,13 +104,19 @@ func ComputeParallel(g *graph.Graph, q *pattern.Pattern, workers int) *match.Rel
 // candidate lists) and loses when candidate sets rival ball sizes; the
 // relation is identical either way.
 func ComputeIndexed(g *graph.Graph, q *pattern.Pattern, ix Oracle) *match.Relation {
-	s := newState(g, q, 1, ix)
+	s := newState(context.Background(), g, q, 1, ix)
 	return s.relation()
 }
 
 // ComputeIndexedParallel is ComputeIndexed fanned out like ComputeParallel.
 func ComputeIndexedParallel(g *graph.Graph, q *pattern.Pattern, ix Oracle, workers int) *match.Relation {
-	s := newState(g, q, workers, ix)
+	return ComputeIndexedParallelCtx(context.Background(), g, q, ix, workers)
+}
+
+// ComputeIndexedParallelCtx is ComputeIndexedParallel under a (possibly
+// traced) context; see ComputeParallelCtx.
+func ComputeIndexedParallelCtx(ctx context.Context, g *graph.Graph, q *pattern.Pattern, ix Oracle, workers int) *match.Relation {
+	s := newState(ctx, g, q, workers, ix)
 	return s.relation()
 }
 
@@ -119,7 +136,7 @@ type state struct {
 	count [][]int32 // [patternEdgeIdx][nodeID] remaining support
 }
 
-func newState(g *graph.Graph, q *pattern.Pattern, workers int, ix Oracle) *state {
+func newState(ctx context.Context, g *graph.Graph, q *pattern.Pattern, workers int, ix Oracle) *state {
 	nq := q.NumNodes()
 	s := &state{
 		g:     g,
@@ -129,12 +146,19 @@ func newState(g *graph.Graph, q *pattern.Pattern, workers int, ix Oracle) *state
 		cand:  make([][]bool, nq),
 		count: make([][]int32, len(q.Edges())),
 	}
+	_, spCands := trace.StartSpan(ctx, "bsim.init_cands")
 	s.initCands(workers)
+	if spCands != nil {
+		spCands.SetInt("candidates", s.countCandidates())
+		spCands.End()
+	}
 
 	var worklist []removal
+	removals := 0
 	remove := func(u pattern.NodeIdx, v graph.NodeID) {
 		if s.cand[u][v] {
 			s.cand[u][v] = false
+			removals++
 			worklist = append(worklist, removal{u, v})
 		}
 	}
@@ -148,11 +172,19 @@ func newState(g *graph.Graph, q *pattern.Pattern, workers int, ix Oracle) *state
 	for ei := range edges {
 		s.count[ei] = make([]int32, s.maxID)
 	}
-	for _, p := range s.initCounts(workers) {
+	_, spCounts := trace.StartSpan(ctx, "bsim.init_counts")
+	pending := s.initCounts(workers)
+	if spCounts != nil {
+		spCounts.SetInt("zero_support", int64(len(pending)))
+		spCounts.SetBool("oracle", ix != nil)
+		spCounts.End()
+	}
+	for _, p := range pending {
 		remove(p.u, p.v)
 	}
 
 	// Propagate removals through bounded in-balls.
+	_, spProp := trace.StartSpan(ctx, "bsim.propagate")
 	for len(worklist) > 0 {
 		rm := worklist[len(worklist)-1]
 		worklist = worklist[:len(worklist)-1]
@@ -173,7 +205,25 @@ func newState(g *graph.Graph, q *pattern.Pattern, workers int, ix Oracle) *state
 			})
 		}
 	}
+	if spProp != nil {
+		spProp.SetInt("removals", int64(removals))
+		spProp.End()
+	}
 	return s
+}
+
+// countCandidates tallies the initial candidate-set sizes; called only
+// on traced runs (the scan is cheap next to the fixpoint but not free).
+func (s *state) countCandidates() int64 {
+	var n int64
+	for u := range s.cand {
+		for _, ok := range s.cand[u] {
+			if ok {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // parallelFloor is the node-range size below which fanning out is pure

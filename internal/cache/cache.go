@@ -78,16 +78,25 @@ func New(budgetBytes int64) *Cache {
 // Get returns a clone of the cached relation for key, if present. Clones
 // keep cached entries immutable even if callers mutate the result.
 func (c *Cache) Get(key Key) (*match.Relation, bool) {
+	rel, _, ok := c.GetSized(key)
+	return rel, ok
+}
+
+// GetSized is Get reporting the entry's accounted byte size alongside —
+// already tracked for the eviction budget, so a tracing caller can
+// attribute a hit's size without re-measuring the relation.
+func (c *Cache) GetSized(key Key) (*match.Relation, int64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		return nil, false
+		return nil, 0, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	return el.Value.(*entry).rel.Clone(), true
+	en := el.Value.(*entry)
+	return en.rel.Clone(), en.bytes, true
 }
 
 // Put stores a clone of the relation under key, evicting least recently

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"expfinder/internal/pattern"
+	"expfinder/internal/trace"
 )
 
 // QueryRequest names one query of a batch: the target graph, the pattern,
@@ -50,15 +51,21 @@ func (e *Engine) QueryCtx(ctx context.Context, graphName string, q *pattern.Patt
 	}
 	mg.mu.RLock()
 	defer mg.mu.RUnlock()
+	_, spWait := trace.StartSpan(ctx, "engine.wait")
+	e.waiting.Add(1)
 	select {
 	case e.sem <- struct{}{}:
 	case <-ctx.Done():
+		e.waiting.Add(-1)
+		spWait.End()
 		return nil, ctx.Err()
 	}
+	e.waiting.Add(-1)
+	spWait.End()
 	defer func() { <-e.sem }()
 	e.inflight.Add(1)
 	defer e.inflight.Add(-1)
-	return e.queryLocked(graphName, mg, q, k, start), nil
+	return e.queryLocked(ctx, graphName, mg, q, k, start), nil
 }
 
 // QueryBatch evaluates a batch of queries concurrently on a worker pool

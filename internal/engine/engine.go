@@ -50,6 +50,7 @@ import (
 	"expfinder/internal/simulation"
 	"expfinder/internal/storage"
 	"expfinder/internal/subscribe"
+	"expfinder/internal/trace"
 	"expfinder/internal/wal"
 )
 
@@ -141,8 +142,11 @@ type Engine struct {
 	// sem holds one token per allowed concurrent query execution;
 	// inflight counts executions holding a token so evaluate can split
 	// the worker budget between inter- and intra-query parallelism.
+	// waiting counts queries parked for a token — the pool's queue depth,
+	// exported as a gauge by the serving tier.
 	sem      chan struct{}
 	inflight atomic.Int32
+	waiting  atomic.Int32
 	epochs   atomic.Uint64 // graph-registration counter, see managed.epoch
 
 	// hub is the continuous-query registry (see Subscribe): every graph
@@ -231,6 +235,14 @@ func New(opts Options) *Engine {
 
 // Parallelism reports the engine's effective worker bound.
 func (e *Engine) Parallelism() int { return e.par }
+
+// InflightQueries reports how many queries hold an execution token right
+// now — the worker pool's occupancy (at most Parallelism).
+func (e *Engine) InflightQueries() int { return int(e.inflight.Load()) }
+
+// QueuedQueries reports how many queries are parked waiting for an
+// execution token — the pool's queue depth.
+func (e *Engine) QueuedQueries() int { return int(e.waiting.Load()) }
 
 // lookup resolves a graph name to its managed entry. Callers lock the
 // returned entry; the registry lock is not held on return, so the entry
@@ -461,14 +473,29 @@ func (e *Engine) Query(graphName string, q *pattern.Pattern, k int) (*Result, er
 }
 
 // queryLocked runs the evaluation pipeline. The caller holds mg.mu for
-// read and an execution token.
-func (e *Engine) queryLocked(graphName string, mg *managed, q *pattern.Pattern, k int, start time.Time) *Result {
-	rel, source, plan := e.evaluate(graphName, mg, q)
+// read and an execution token. When ctx carries an active trace (see
+// internal/trace) the pipeline emits an "engine.query" span with one
+// child per stage; results are byte-identical with and without tracing.
+func (e *Engine) queryLocked(ctx context.Context, graphName string, mg *managed, q *pattern.Pattern, k int, start time.Time) *Result {
+	qctx, sp := trace.StartSpan(ctx, "engine.query")
+	rel, source, plan := e.evaluate(qctx, graphName, mg, q)
 	key := cache.Key{GraphName: graphName, Epoch: mg.epoch, GraphVersion: mg.g.Version(), PatternHash: q.Hash()}
+	_, spRG := trace.StartSpan(qctx, "result_graph")
 	rg := e.resultGraphFor(key, mg.g, q, rel)
+	spRG.End()
+	_, spRank := trace.StartSpan(qctx, "rank.topk")
 	ranked := e.rankingFor(key, rg, q, rel)
 	if k > 0 && k < len(ranked) {
 		ranked = ranked[:k]
+	}
+	spRank.End()
+	if sp != nil {
+		sp.SetStr("graph", graphName)
+		sp.SetStr("plan", string(plan))
+		sp.SetStr("source", string(source))
+		sp.SetInt("matches", int64(rel.Size()))
+		sp.SetInt("k", int64(k))
+		sp.End()
 	}
 	return &Result{
 		Relation:    rel,
@@ -496,8 +523,9 @@ func (e *Engine) evalWorkers() int {
 }
 
 // evaluate runs the pipeline described in the package comment. Callers
-// hold mg.mu for at least read.
-func (e *Engine) evaluate(graphName string, mg *managed, q *pattern.Pattern) (*match.Relation, Source, Plan) {
+// hold mg.mu for at least read. Trace spans (one per pipeline stage)
+// are emitted only when ctx carries an active trace.
+func (e *Engine) evaluate(ctx context.Context, graphName string, mg *managed, q *pattern.Pattern) (*match.Relation, Source, Plan) {
 	plan := PlanBounded
 	if q.IsPlainSimulation() {
 		// Bound-1 obligations are adjacency scans; the index cannot beat
@@ -512,8 +540,17 @@ func (e *Engine) evaluate(graphName string, mg *managed, q *pattern.Pattern) (*m
 		plan = PlanIndexed
 	}
 	key := cache.Key{GraphName: graphName, Epoch: mg.epoch, GraphVersion: mg.g.Version(), PatternHash: q.Hash()}
-	if rel, ok := e.cache.Get(key); ok {
-		return rel, SourceCache, plan
+	_, spCache := trace.StartSpan(ctx, "cache.lookup")
+	cached, cachedBytes, hit := e.cache.GetSized(key)
+	if spCache != nil {
+		spCache.SetBool("hit", hit)
+		if hit {
+			spCache.SetInt("bytes", cachedBytes)
+		}
+		spCache.End()
+	}
+	if hit {
+		return cached, SourceCache, plan
 	}
 	if m, ok := mg.matchers[q.Hash()]; ok {
 		rel := m.Relation()
@@ -526,9 +563,15 @@ func (e *Engine) evaluate(graphName string, mg *managed, q *pattern.Pattern) (*m
 	// different graph registered under a recycled name can collide on
 	// (name, version).
 	if e.opts.Store != nil {
-		if rec, err := e.opts.Store.LoadResult(graphName, q.Hash()); err == nil &&
-			rec.GraphVersion == mg.g.Version() && rec.NumPNodes == q.NumNodes() &&
-			rec.GraphFP == mg.fingerprint() {
+		_, spStore := trace.StartSpan(ctx, "store.lookup")
+		rec, err := e.opts.Store.LoadResult(graphName, q.Hash())
+		usable := err == nil && rec.GraphVersion == mg.g.Version() &&
+			rec.NumPNodes == q.NumNodes() && rec.GraphFP == mg.fingerprint()
+		if spStore != nil {
+			spStore.SetBool("hit", usable)
+			spStore.End()
+		}
+		if usable {
 			rel := rec.Relation()
 			e.cache.Put(key, rel)
 			return rel, SourceStore, plan
@@ -539,13 +582,15 @@ func (e *Engine) evaluate(graphName string, mg *managed, q *pattern.Pattern) (*m
 	// recompute the balls they already paid for, and the partitioning
 	// does not describe the quotient).
 	if plan != PlanIndexed && plan != PlanPartitioned && mg.comp != nil && e.compressedUsable(mg.comp, q, plan) {
+		cctx, spComp := trace.StartSpan(ctx, "eval.compressed")
 		var onQ *match.Relation
 		if plan == PlanSimulation {
 			onQ = simulation.Compute(mg.comp.Graph(), q)
 		} else {
-			onQ = bsim.ComputeParallel(mg.comp.Graph(), q, e.evalWorkers())
+			onQ = bsim.ComputeParallelCtx(cctx, mg.comp.Graph(), q, e.evalWorkers())
 		}
 		rel := mg.comp.Decompress(onQ)
+		spComp.End()
 		e.cache.Put(key, rel)
 		return rel, SourceCompressed, plan
 	}
@@ -553,23 +598,53 @@ func (e *Engine) evaluate(graphName string, mg *managed, q *pattern.Pattern) (*m
 	source := SourceDirect
 	switch plan {
 	case PlanSimulation:
+		_, spSim := trace.StartSpan(ctx, "eval.simulation")
 		rel = simulation.Compute(mg.g, q)
+		spSim.End()
 	case PlanIndexed:
-		rel = bsim.ComputeIndexedParallel(mg.g, q, mg.idx, e.evalWorkers())
+		ictx, spIdx := trace.StartSpan(ctx, "eval.indexed")
+		var before distindex.Stats
+		if spIdx != nil {
+			before = mg.idx.Stats()
+		}
+		rel = bsim.ComputeIndexedParallelCtx(ictx, mg.g, q, mg.idx, e.evalWorkers())
+		if spIdx != nil {
+			// Counter deltas around this evaluation; exact when queries do
+			// not overlap (always, in tests), approximate under concurrency.
+			after := mg.idx.Stats()
+			spIdx.SetInt("probes", int64(after.Queries-before.Queries))
+			spIdx.SetInt("proved", int64(after.Proved-before.Proved))
+			spIdx.SetInt("refuted", int64(after.Refuted-before.Refuted))
+			spIdx.SetInt("fallbacks", int64(after.Fallbacks-before.Fallbacks))
+			spIdx.End()
+		}
 		source = SourceIndexed
 	case PlanPartitioned:
+		pctx, spPart := trace.StartSpan(ctx, "eval.partitioned")
+		var st partition.EvalStats
 		var err error
-		rel, _, err = partition.Eval(mg.g, q, mg.part, partition.Bounded)
+		rel, st, err = partition.EvalCtx(pctx, mg.g, q, mg.part, partition.Bounded)
+		if spPart != nil {
+			spPart.SetInt("supersteps", int64(st.Supersteps))
+			spPart.SetInt("messages", int64(st.Messages))
+			spPart.SetInt("removals", int64(st.Removals))
+			spPart.SetBool("fallback", err != nil)
+			spPart.End()
+		}
 		if err != nil {
 			// Unreachable while routing gates on Fresh under the graph's
 			// lock; answer exactly anyway rather than fail the query.
-			rel = bsim.ComputeParallel(mg.g, q, e.evalWorkers())
+			bctx, spB := trace.StartSpan(ctx, "eval.bounded")
+			rel = bsim.ComputeParallelCtx(bctx, mg.g, q, e.evalWorkers())
+			spB.End()
 			plan = PlanBounded
 		} else {
 			source = SourcePartitioned
 		}
 	default:
-		rel = bsim.ComputeParallel(mg.g, q, e.evalWorkers())
+		bctx, spB := trace.StartSpan(ctx, "eval.bounded")
+		rel = bsim.ComputeParallelCtx(bctx, mg.g, q, e.evalWorkers())
+		spB.End()
 	}
 	e.cache.Put(key, rel)
 	if e.opts.Store != nil {
@@ -659,11 +734,20 @@ type Delta struct {
 // per-registered-query deltas; PushUpdates additionally reports the
 // subscription fan-out count.
 func (e *Engine) ApplyUpdates(graphName string, ops []incremental.Update) ([]Delta, error) {
-	deltas, _, err := e.applyUpdates(graphName, ops)
+	deltas, _, err := e.applyUpdates(context.Background(), graphName, ops)
 	return deltas, err
 }
 
-func (e *Engine) applyUpdates(graphName string, ops []incremental.Update) ([]Delta, int, error) {
+// ApplyUpdatesCtx is ApplyUpdates threading ctx through to the WAL
+// append, so traced update requests capture the durability cost (see
+// internal/trace). Cancellation is NOT consulted: once called, the
+// batch applies atomically exactly as ApplyUpdates would.
+func (e *Engine) ApplyUpdatesCtx(ctx context.Context, graphName string, ops []incremental.Update) ([]Delta, error) {
+	deltas, _, err := e.applyUpdates(ctx, graphName, ops)
+	return deltas, err
+}
+
+func (e *Engine) applyUpdates(ctx context.Context, graphName string, ops []incremental.Update) ([]Delta, int, error) {
 	mg, err := e.lookup(graphName)
 	if err != nil {
 		return nil, 0, err
@@ -713,7 +797,7 @@ func (e *Engine) applyUpdates(graphName string, ops []incremental.Update) ([]Del
 				for j := i - 1; j >= 0; j-- {
 					rb = append(rb, wal.Update{Insert: !ops[j].Insert, From: ops[j].From, To: ops[j].To})
 				}
-				_ = pers.LogUpdates(graphName, rb, mg.g.Version())
+				_ = pers.LogUpdatesCtx(ctx, graphName, rb, mg.g.Version())
 			}
 			return nil, 0, fmt.Errorf("engine: apply op %d: %w", i, err)
 		}
@@ -732,7 +816,7 @@ func (e *Engine) applyUpdates(graphName string, ops []incremental.Update) ([]Del
 		for i, op := range ops {
 			wops[i] = wal.Update{Insert: op.Insert, From: op.From, To: op.To}
 		}
-		return pers.LogUpdates(graphName, wops, mg.g.Version())
+		return pers.LogUpdatesCtx(ctx, graphName, wops, mg.g.Version())
 	}
 	var deltas []Delta
 	for h, m := range mg.matchers {

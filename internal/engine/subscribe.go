@@ -9,6 +9,7 @@ package engine
 // mutations produced.
 
 import (
+	"context"
 	"fmt"
 
 	"expfinder/internal/incremental"
@@ -55,8 +56,14 @@ func (e *Engine) SubscriptionStats() subscribe.Stats { return e.hub.Stats() }
 // edge updates, repairs registered queries, and additionally reports how
 // many live subscriptions were handed a delta by the fan-out.
 func (e *Engine) PushUpdates(graphName string, ops []incremental.Update) (deltas []Delta, notified int, err error) {
-	deltas, notified, err = e.applyUpdates(graphName, ops)
-	return deltas, notified, err
+	return e.PushUpdatesCtx(context.Background(), graphName, ops)
+}
+
+// PushUpdatesCtx is PushUpdates threading ctx through to the WAL append
+// so traced streaming updates capture the durability cost. Like
+// ApplyUpdatesCtx, cancellation is not consulted.
+func (e *Engine) PushUpdatesCtx(ctx context.Context, graphName string, ops []incremental.Update) (deltas []Delta, notified int, err error) {
+	return e.applyUpdates(ctx, graphName, ops)
 }
 
 // FlushSubscriptions forces the lazy recompute of any standing queries

@@ -68,6 +68,31 @@ func (r *Registry) Handler() http.Handler {
 // sane label value, so the join is collision-free in practice.
 func labelKey(values []string) string { return strings.Join(values, "\x1f") }
 
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: exactly backslash, double quote, and newline — not Go's %q
+// rules, which would also mangle tabs and non-ASCII bytes Prometheus
+// passes through verbatim.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
 // renderLabels formats {k="v",...} for a label schema + values; empty
 // schema renders as no braces at all.
 func renderLabels(names, values []string) string {
@@ -76,7 +101,7 @@ func renderLabels(names, values []string) string {
 	}
 	parts := make([]string, len(names))
 	for i, n := range names {
-		parts[i] = fmt.Sprintf("%s=%q", n, values[i])
+		parts[i] = n + `="` + escapeLabel(values[i]) + `"`
 	}
 	return "{" + strings.Join(parts, ",") + "}"
 }
@@ -250,6 +275,17 @@ func (h *Histogram) write(w io.Writer) {
 	sort.Strings(keys)
 
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.fname, h.help, h.fname)
+	if len(keys) == 0 && len(h.labels) == 0 {
+		// A scalar histogram that never observed still exposes its full
+		// shape — zero buckets, _sum 0, _count 0 — so dashboards and
+		// rate() queries see the series exist instead of a gap.
+		for _, le := range h.buckets {
+			fmt.Fprintf(w, "%s_bucket%s 0\n", h.fname, bucketLabels(nil, nil, le))
+		}
+		fmt.Fprintf(w, "%s_bucket%s 0\n", h.fname, bucketLabels(nil, nil, math.Inf(1)))
+		fmt.Fprintf(w, "%s_sum 0\n", h.fname)
+		fmt.Fprintf(w, "%s_count 0\n", h.fname)
+	}
 	for _, k := range keys {
 		s := h.series[k]
 		cum := int64(0)
@@ -298,4 +334,29 @@ func (g *GaugeFunc) name() string { return g.fname }
 func (g *GaugeFunc) write(w io.Writer) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.fname, g.help, g.fname)
 	fmt.Fprintf(w, "%s %g\n", g.fname, g.fn())
+}
+
+// CounterFunc is a monotone counter whose value is sampled from a
+// callback at scrape time — for totals a subsystem already accumulates
+// (GC pause time, WAL appends) that should render with TYPE counter so
+// rate() works on them.
+type CounterFunc struct {
+	fname string
+	help  string
+	fn    func() float64
+}
+
+// NewCounterFunc registers a sampled counter. fn must be monotone
+// non-decreasing.
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) *CounterFunc {
+	c := &CounterFunc{fname: name, help: help, fn: fn}
+	r.register(c)
+	return c
+}
+
+func (c *CounterFunc) name() string { return c.fname }
+
+func (c *CounterFunc) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.fname, c.help, c.fname)
+	fmt.Fprintf(w, "%s %g\n", c.fname, c.fn())
 }

@@ -134,3 +134,80 @@ func TestConcurrentUse(t *testing.T) {
 		t.Errorf("histogram count = %d, want 8000", h.Count("r"))
 	}
 }
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("odd_total", "Odd labels.", "path")
+	c.Inc("a\\b\"c\nd\tе") // backslash, quote, newline escaped; tab and non-ASCII verbatim
+	var sb strings.Builder
+	r.WriteText(&sb)
+	want := "odd_total{path=\"a\\\\b\\\"c\\nd\tе\"} 1\n"
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("escaped render missing %q:\n%s", want, sb.String())
+	}
+}
+
+func TestZeroObservationHistogramEmitsCountAndSum(t *testing.T) {
+	r := NewRegistry()
+	r.NewHistogram("cold_seconds", "Never observed.", []float64{0.1, 1})
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		`cold_seconds_bucket{le="0.1"} 0`,
+		`cold_seconds_bucket{le="1"} 0`,
+		`cold_seconds_bucket{le="+Inf"} 0`,
+		"cold_seconds_sum 0",
+		"cold_seconds_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("zero-observation histogram missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestZeroObservationLabeledHistogramStaysEmpty(t *testing.T) {
+	// A labeled family has no series to synthesize values for; it must
+	// render only its header (and not invent label sets).
+	r := NewRegistry()
+	r.NewHistogram("warm_seconds", "Labeled.", []float64{1}, "route")
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	if strings.Contains(out, "warm_seconds_count") || strings.Contains(out, "warm_seconds_bucket") {
+		t.Errorf("labeled empty histogram should emit no series:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE warm_seconds histogram") {
+		t.Errorf("header missing:\n%s", out)
+	}
+}
+
+func TestCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	n := 41.0
+	r.NewCounterFunc("sampled_total", "Sampled.", func() float64 { n++; return n })
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "# TYPE sampled_total counter") || !strings.Contains(out, "sampled_total 42") {
+		t.Errorf("counter func render:\n%s", out)
+	}
+}
+
+func TestRegisterRuntime(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"expfinder_goroutines ",
+		"expfinder_heap_alloc_bytes ",
+		"expfinder_gc_pause_seconds_total ",
+		"expfinder_gc_cycles_total ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime metrics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -27,11 +27,13 @@ package partition
 // carry.
 
 import (
+	"context"
 	"sync"
 
 	"expfinder/internal/graph"
 	"expfinder/internal/match"
 	"expfinder/internal/pattern"
+	"expfinder/internal/trace"
 )
 
 // Semantics selects which fixpoint Eval computes.
@@ -100,6 +102,14 @@ type evalState struct {
 // was built over a different graph or has not been synced past a node
 // addition (the engine checks Fresh before routing here).
 func Eval(g *graph.Graph, q *pattern.Pattern, pt *Partitioning, sem Semantics) (*match.Relation, EvalStats, error) {
+	return EvalCtx(context.Background(), g, q, pt, sem)
+}
+
+// EvalCtx is Eval emitting trace spans when ctx carries an active trace
+// (see internal/trace): one span per phase plus one per superstep, whose
+// message and removal attributes sum to the returned EvalStats. The
+// relation is byte-identical with and without tracing.
+func EvalCtx(ctx context.Context, g *graph.Graph, q *pattern.Pattern, pt *Partitioning, sem Semantics) (*match.Relation, EvalStats, error) {
 	if !pt.covers(g) {
 		return nil, EvalStats{}, ErrStale
 	}
@@ -111,10 +121,21 @@ func Eval(g *graph.Graph, q *pattern.Pattern, pt *Partitioning, sem Semantics) (
 		}
 	}
 
+	_, spCands := trace.StartSpan(ctx, "part.init_cands")
 	s.initCands()
+	spCands.End()
+	_, spCounts := trace.StartSpan(ctx, "part.init_counts")
 	pending := s.initCounts()
+	if spCounts != nil {
+		var zero int64
+		for f := range pending {
+			zero += int64(len(pending[f]))
+		}
+		spCounts.SetInt("zero_support", zero)
+		spCounts.End()
+	}
 
-	st := s.fixpoint(pending)
+	st := s.fixpoint(ctx, pending)
 	pt.noteEval(st)
 
 	nq := q.NumNodes()
@@ -236,8 +257,11 @@ func (s *evalState) countBall(v graph.NodeID, bound int, set []bool, reverse boo
 	return c
 }
 
-// fixpoint runs the bulk-synchronous refinement loop.
-func (s *evalState) fixpoint(pending [][]removal) EvalStats {
+// fixpoint runs the bulk-synchronous refinement loop. When ctx carries
+// an active trace, every barrier round gets a "superstep" span whose
+// messages/removals attributes are that round's deltas — summing them
+// across spans reproduces the returned EvalStats.
+func (s *evalState) fixpoint(ctx context.Context, pending [][]removal) EvalStats {
 	p := s.pt.parts
 	var st EvalStats
 	inbox := make([][]delta, p)
@@ -254,6 +278,13 @@ func (s *evalState) fixpoint(pending [][]removal) EvalStats {
 			break
 		}
 		st.Supersteps++
+		_, spStep := trace.StartSpan(ctx, "superstep")
+		prevRemoved := 0
+		if spStep != nil {
+			for f := 0; f < p; f++ {
+				prevRemoved += removed[f]
+			}
+		}
 		outboxes := make([][][]delta, p)
 		parallelFrags(p, func(f int) {
 			outboxes[f] = make([][]delta, p)
@@ -264,11 +295,23 @@ func (s *evalState) fixpoint(pending [][]removal) EvalStats {
 		for f := 0; f < p; f++ {
 			inbox[f] = nil
 		}
+		roundMsgs := 0
 		for from := 0; from < p; from++ {
 			for to, ds := range outboxes[from] {
 				inbox[to] = append(inbox[to], ds...)
-				st.Messages += len(ds)
+				roundMsgs += len(ds)
 			}
+		}
+		st.Messages += roundMsgs
+		if spStep != nil {
+			roundRemoved := -prevRemoved
+			for f := 0; f < p; f++ {
+				roundRemoved += removed[f]
+			}
+			spStep.SetInt("round", int64(st.Supersteps))
+			spStep.SetInt("messages", int64(roundMsgs))
+			spStep.SetInt("removals", int64(roundRemoved))
+			spStep.End()
 		}
 	}
 	for f := 0; f < p; f++ {

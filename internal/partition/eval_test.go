@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -10,6 +11,7 @@ import (
 	"expfinder/internal/dataset"
 	"expfinder/internal/strongsim"
 	"expfinder/internal/testutil"
+	"expfinder/internal/trace"
 )
 
 // TestEvalMatchesSerialProperty is the subsystem's central contract: for
@@ -130,5 +132,69 @@ func TestEvalStale(t *testing.T) {
 	g.AddNode("SA", nil) // not synced: owner table no longer covers MaxID
 	if _, _, err := Eval(g, q, pt, Bounded); !errors.Is(err, ErrStale) {
 		t.Fatalf("uncovered eval error = %v", err)
+	}
+}
+
+// TestEvalCtxSuperstepSpans: a traced evaluation emits exactly one
+// "superstep" span per barrier round, and the per-round message and
+// removal attributes sum to the returned EvalStats. An untraced context
+// must produce the same stats — spans only observe.
+func TestEvalCtxSuperstepSpans(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	g := testutil.RandomGraph(r, 150, 500)
+	q := testutil.RandomPattern(r, 3)
+	pt, err := Partition(g, Options{Parts: 5, Strategy: StrategyHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := trace.New(trace.Options{Sample: 1})
+	ctx, trc := tracer.Start(context.Background(), "req-1", "query", false)
+	rel, st, err := EvalCtx(ctx, g, q, pt, Bounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tj := tracer.Finish(trc)
+
+	var steps int
+	var msgs, removals int64
+	tj.Walk(func(sp *trace.SpanJSON) {
+		if sp.Name != "superstep" {
+			return
+		}
+		steps++
+		if round, _ := sp.Attrs["round"].(int64); round != int64(steps) {
+			t.Fatalf("superstep %d carries round attr %v", steps, sp.Attrs["round"])
+		}
+		m, ok := sp.Attrs["messages"].(int64)
+		if !ok {
+			t.Fatalf("superstep %d missing messages attr: %v", steps, sp.Attrs)
+		}
+		msgs += m
+		rm, ok := sp.Attrs["removals"].(int64)
+		if !ok {
+			t.Fatalf("superstep %d missing removals attr: %v", steps, sp.Attrs)
+		}
+		removals += rm
+	})
+	if steps != st.Supersteps {
+		t.Fatalf("trace has %d superstep spans, stats report %d", steps, st.Supersteps)
+	}
+	if msgs != int64(st.Messages) {
+		t.Fatalf("superstep spans sum to %d messages, stats report %d", msgs, st.Messages)
+	}
+	if removals != int64(st.Removals) {
+		t.Fatalf("superstep spans sum to %d removals, stats report %d", removals, st.Removals)
+	}
+	if tj.Find("part.init_cands") == nil || tj.Find("part.init_counts") == nil {
+		t.Fatal("phase spans missing from trace")
+	}
+
+	relPlain, stPlain, err := Eval(g, q, pt, Bounded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.String() != relPlain.String() || st != stPlain {
+		t.Fatalf("tracing changed the result: %+v vs %+v", st, stPlain)
 	}
 }

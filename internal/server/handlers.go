@@ -233,10 +233,10 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 			var rel *match.Relation
 			source := engine.SourceDirect
 			if ixErr == nil && ix.Complete() && ix.Fresh(g) {
-				rel = strongsim.DualIndexed(g, q, ix)
+				rel = strongsim.DualIndexedCtx(r.Context(), g, q, ix)
 				source = engine.SourceIndexed
 			} else {
-				rel = strongsim.Dual(g, q)
+				rel = strongsim.DualCtx(r.Context(), g, q)
 			}
 			rg := match.BuildResultGraph(g, q, rel)
 			res = &engine.Result{
@@ -257,7 +257,9 @@ func (s *Server) query(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown semantics %q", req.Semantics))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.render(name, q, res, r.URL.Query().Get("dot") == "1"))
+	resp := s.render(name, q, res, r.URL.Query().Get("dot") == "1")
+	resp.Trace = inlineTrace(r)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // render builds the wire response inside the graph's read scope so
@@ -359,7 +361,7 @@ func (s *Server) queryBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		entries[i].QueryResponse = s.render(bq.Graph, patterns[i], oc.Result, false)
 	}
-	writeJSON(w, http.StatusOK, api.BatchResponse{Results: entries})
+	writeJSON(w, http.StatusOK, api.BatchResponse{Results: entries, Trace: inlineTrace(r)})
 }
 
 func (s *Server) applyUpdates(w http.ResponseWriter, r *http.Request) {
@@ -381,7 +383,7 @@ func (s *Server) applyUpdates(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	deltas, notified, err := s.eng.PushUpdates(name, ops)
+	deltas, notified, err := s.eng.PushUpdatesCtx(r.Context(), name, ops)
 	if err != nil {
 		writeErr(w, statusFor(err), err)
 		return

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"expfinder/internal/api"
+	"expfinder/internal/trace"
 )
 
 type ctxKey int
@@ -339,7 +340,9 @@ func (s *Server) withAdmission(next http.Handler) http.Handler {
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
+		_, spWait := trace.StartSpan(ctx, "admission.wait")
 		release, err := s.admit.acquire(ctx)
+		spWait.End()
 		if err != nil {
 			if errors.Is(err, errShed) {
 				w.Header().Set("Retry-After", "1")

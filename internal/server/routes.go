@@ -56,12 +56,18 @@ func (s *Server) routes() []route {
 		{"GET", "/cache/stats", "cache_stats", true, s.cacheStats},
 		{"GET", "/admin/persistence", "persistence_stats", true, s.persistenceStats},
 		{"POST", "/admin/persistence/checkpoint", "force_checkpoint", true, s.forceCheckpoint},
+		// Debug surfaces skip admission: inspecting recent and slow
+		// traces must keep working while the server sheds load.
+		{"GET", "/debug/traces", "debug_traces", false, s.debugTraces},
+		{"GET", "/debug/slow", "debug_slow", false, s.debugSlow},
 	}
 }
 
 // mount registers every route under prefix with the per-route slice of
-// the middleware chain: surface marker -> metrics -> auth -> rate limit
-// -> admission -> handler.
+// the middleware chain: surface marker -> metrics -> trace -> auth ->
+// rate limit -> admission -> handler. Tracing sits inside metrics (the
+// request id is already assigned) and outside auth, so a traced request
+// captures its auth, rate-limit, and admission time too.
 func (s *Server) mount(mux *http.ServeMux, prefix string, rts []route) {
 	for _, rt := range rts {
 		var h http.Handler = rt.h
@@ -70,6 +76,7 @@ func (s *Server) mount(mux *http.ServeMux, prefix string, rts []route) {
 		}
 		h = s.withRateLimit(h)
 		h = s.withAuth(h)
+		h = s.withTrace(rt.name, h)
 		h = s.withMetrics(rt.name, h)
 		h = s.withSurface(prefix, h)
 		mux.Handle(rt.method+" "+prefix+rt.pattern, h)

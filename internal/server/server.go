@@ -23,12 +23,14 @@ package server
 import (
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"time"
 
 	"expfinder/internal/api"
 	"expfinder/internal/engine"
 	"expfinder/internal/metrics"
+	"expfinder/internal/trace"
 )
 
 // Config tunes the serving tier. The zero value (what bare New(eng)
@@ -57,6 +59,18 @@ type Config struct {
 	RequestTimeout time.Duration
 	// Logger, when set, receives one structured line per request.
 	Logger *log.Logger
+	// TraceSample is the fraction of requests traced through the query
+	// engine (0 = none, 1 = all). Requests asking explicitly with
+	// ?trace=1 or X-Trace: 1 are always traced regardless of the rate.
+	TraceSample float64
+	// SlowQuery, when positive, logs every request slower than this
+	// threshold to the slow-query log (GET /api/v1/debug/slow) and, when
+	// configured, the structured Logger.
+	SlowQuery time.Duration
+	// Debug mounts net/http/pprof under /debug/pprof/ — outside
+	// admission control (profiling an overloaded server is the point)
+	// but behind bearer auth when AuthToken is set.
+	Debug bool
 }
 
 // Server wires an engine into an http.Handler.
@@ -71,11 +85,13 @@ type Server struct {
 	registry *metrics.Registry
 	limiter  *rateLimiter
 	admit    *admission
+	tracer   *trace.Tracer
 
 	mReqs        *metrics.Counter
 	mLatency     *metrics.Histogram
 	mShed        *metrics.Counter
 	mRateLimited *metrics.Counter
+	mStage       *metrics.Histogram
 }
 
 // New returns a server over the given engine. With no Config the
@@ -87,6 +103,14 @@ func New(eng *engine.Engine, cfg ...Config) *Server {
 		c = cfg[0]
 	}
 	s := &Server{eng: eng, cfg: c, registry: metrics.NewRegistry()}
+
+	// The tracer always exists: forced traces (?trace=1) work with a zero
+	// sample rate, and the slow-query log is threshold-gated on its own.
+	s.tracer = trace.New(trace.Options{
+		Sample:        c.TraceSample,
+		SlowThreshold: c.SlowQuery,
+		Logger:        c.Logger,
+	})
 
 	if c.RateLimit > 0 {
 		s.limiter = newRateLimiter(c.RateLimit, c.RateBurst)
@@ -146,6 +170,22 @@ func New(eng *engine.Engine, cfg ...Config) *Server {
 		"Result-cache misses since boot.", func() float64 {
 			return float64(s.eng.CacheStats().Misses)
 		})
+	s.registry.NewGaugeFunc("expfinder_engine_inflight",
+		"Queries holding an engine execution token.", func() float64 {
+			return float64(s.eng.InflightQueries())
+		})
+	s.registry.NewGaugeFunc("expfinder_engine_queue_depth",
+		"Queries parked waiting for an engine execution token.", func() float64 {
+			return float64(s.eng.QueuedQueries())
+		})
+	metrics.RegisterRuntime(s.registry)
+
+	// Finished traces aggregate into per-plan/per-stage latency
+	// histograms, so even sampled tracing feeds dashboards continuously.
+	s.mStage = s.registry.NewHistogram("expfinder_query_stage_duration_seconds",
+		"Traced query-stage latency in seconds, by plan and stage.", nil,
+		"plan", "stage")
+	s.tracer.OnFinish(s.aggregateTrace)
 
 	mux := http.NewServeMux()
 	rts := s.routes()
@@ -153,6 +193,18 @@ func New(eng *engine.Engine, cfg ...Config) *Server {
 	s.mount(mux, api.LegacyPrefix, rts)
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.Handle("GET /metrics", s.registry.Handler())
+	if c.Debug {
+		// pprof sits outside rate limiting and admission — profiling an
+		// overloaded server is exactly the point — but inside auth when a
+		// token is configured.
+		pp := http.NewServeMux()
+		pp.HandleFunc("/debug/pprof/", pprof.Index)
+		pp.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pp.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pp.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pp.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/pprof/", s.withAuth(pp))
+	}
 	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		writeEnvelope(w, http.StatusNotFound, api.CodeNotFound,
 			"no such route: "+r.Method+" "+r.URL.Path, nil)

@@ -1,0 +1,107 @@
+package server
+
+// Query-execution tracing at the serving tier: the withTrace middleware
+// starts a trace per sampled (or explicitly requested) request and hands
+// the traced context down the chain — engine, matchers, partition
+// evaluator, and WAL all emit spans through internal/trace when the
+// context carries one. Finished traces land in the tracer's ring
+// (GET /api/v1/debug/traces), feed the slow-query log
+// (GET /api/v1/debug/slow), and aggregate into per-plan/per-stage
+// latency histograms on the metrics registry.
+
+import (
+	"net/http"
+	"time"
+
+	"expfinder/internal/api"
+	"expfinder/internal/trace"
+)
+
+// traceRequested reports whether the client explicitly asked for an
+// inline trace with ?trace=1 or the X-Trace: 1 header. Forced traces
+// bypass the sample rate and are echoed in the response envelope.
+func traceRequested(r *http.Request) bool {
+	return r.URL.Query().Get("trace") == "1" || r.Header.Get("X-Trace") == "1"
+}
+
+// withTrace sits between the metrics and auth middlewares: spans cover
+// auth, rate limiting, admission waits, and the handler, while the
+// request id assigned by withObservability is already on the response
+// header. With tracing sampled out and no slow-query threshold the
+// request passes through untouched.
+func (s *Server) withTrace(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, trc := s.tracer.Start(r.Context(), w.Header().Get("X-Request-ID"),
+			route, traceRequested(r))
+		if trc == nil && s.tracer.SlowThreshold() <= 0 {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if trc != nil {
+			r = r.WithContext(ctx)
+		}
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		elapsed := time.Since(start)
+		var tj *trace.TraceJSON
+		if trc != nil {
+			tj = s.tracer.Finish(trc)
+		}
+		status := http.StatusOK
+		if sw, ok := w.(*statusWriter); ok && sw.status != 0 {
+			status = sw.status
+		}
+		s.tracer.NoteSlow(w.Header().Get("X-Request-ID"), route, status, elapsed, tj)
+	})
+}
+
+// inlineTrace returns the active trace's snapshot when the client asked
+// for one inline (?trace=1 / X-Trace: 1); nil otherwise. Taken before
+// the middleware finishes the trace, so spans still open (the route
+// root, serialization) are measured up to this instant.
+func inlineTrace(r *http.Request) *trace.TraceJSON {
+	if trc := trace.ActiveTrace(r.Context()); trc != nil && trc.Forced() {
+		return trc.Snapshot()
+	}
+	return nil
+}
+
+// aggregateTrace folds one finished trace into the per-plan/per-stage
+// histograms. The plan comes from the engine.query span's attribute;
+// spans outside a plan (middleware waits, WAL appends) aggregate under
+// plan "none".
+func (s *Server) aggregateTrace(tj *trace.TraceJSON) {
+	plan := "none"
+	tj.Walk(func(sp *trace.SpanJSON) {
+		if plan == "none" && sp.Name == "engine.query" {
+			if p, ok := sp.Attrs["plan"].(string); ok {
+				plan = p
+			}
+		}
+	})
+	tj.Walk(func(sp *trace.SpanJSON) {
+		if sp == tj.Root {
+			return // the root duplicates mLatency's request latency
+		}
+		s.mStage.Observe(float64(sp.DurationUS)/1e6, plan, sp.Name)
+	})
+}
+
+func (s *Server) debugTraces(w http.ResponseWriter, r *http.Request) {
+	traces := s.tracer.Recent()
+	if traces == nil {
+		traces = []*trace.TraceJSON{}
+	}
+	writeJSON(w, http.StatusOK, api.DebugTracesResponse{Traces: traces})
+}
+
+func (s *Server) debugSlow(w http.ResponseWriter, r *http.Request) {
+	entries := s.tracer.Slow()
+	if entries == nil {
+		entries = []*trace.SlowEntry{}
+	}
+	writeJSON(w, http.StatusOK, api.DebugSlowResponse{
+		ThresholdUS: s.tracer.SlowThreshold().Microseconds(),
+		Entries:     entries,
+	})
+}

@@ -21,11 +21,13 @@
 package strongsim
 
 import (
+	"context"
 	"sort"
 
 	"expfinder/internal/graph"
 	"expfinder/internal/match"
 	"expfinder/internal/pattern"
+	"expfinder/internal/trace"
 )
 
 // Oracle answers exact bounded-reachability queries under nonempty-path
@@ -43,7 +45,14 @@ type Oracle interface {
 // k hops, and every pattern in-edge (u”,u) with bound k by a matching
 // ancestor within k hops.
 func Dual(g *graph.Graph, q *pattern.Pattern) *match.Relation {
-	return dual(g, q, nil)
+	return dual(context.Background(), g, q, nil)
+}
+
+// DualCtx is Dual emitting trace spans for each refinement phase when ctx
+// carries an active trace (see internal/trace). The relation is
+// byte-identical with and without tracing — spans only observe.
+func DualCtx(ctx context.Context, g *graph.Graph, q *pattern.Pattern) *match.Relation {
+	return dual(ctx, g, q, nil)
 }
 
 // DualIndexed is Dual with witness checks answered by a distance oracle:
@@ -55,16 +64,23 @@ func Dual(g *graph.Graph, q *pattern.Pattern) *match.Relation {
 // label-undecided pair falls back to a bounded BFS, which repeated across
 // a candidate list easily dwarfs the one traversal it replaces.
 func DualIndexed(g *graph.Graph, q *pattern.Pattern, ix Oracle) *match.Relation {
-	return dual(g, q, ix)
+	return dual(context.Background(), g, q, ix)
 }
 
-func dual(g *graph.Graph, q *pattern.Pattern, ix Oracle) *match.Relation {
+// DualIndexedCtx is DualIndexed emitting trace spans for each refinement
+// phase when ctx carries an active trace.
+func DualIndexedCtx(ctx context.Context, g *graph.Graph, q *pattern.Pattern, ix Oracle) *match.Relation {
+	return dual(ctx, g, q, ix)
+}
+
+func dual(ctx context.Context, g *graph.Graph, q *pattern.Pattern, ix Oracle) *match.Relation {
 	nq := q.NumNodes()
 	maxID := g.MaxID()
 	cand := make([][]bool, nq)
 	// preds[u]: the static predicate-candidate list, the oracle strategy's
 	// scan universe (cand shrinks during refinement; preds does not).
 	preds := make([][]graph.NodeID, nq)
+	_, spCands := trace.StartSpan(ctx, "dual.init_cands")
 	for u := 0; u < nq; u++ {
 		cand[u] = make([]bool, maxID)
 		pred := q.Node(pattern.NodeIdx(u)).Pred
@@ -75,15 +91,26 @@ func dual(g *graph.Graph, q *pattern.Pattern, ix Oracle) *match.Relation {
 			}
 		})
 	}
+	if spCands != nil {
+		var n int64
+		for u := range preds {
+			n += int64(len(preds[u]))
+		}
+		spCands.SetInt("candidates", n)
+		spCands.SetBool("oracle", ix != nil)
+		spCands.End()
+	}
 
 	type pairT struct {
 		u pattern.NodeIdx
 		v graph.NodeID
 	}
 	var worklist []pairT
+	removals := 0
 	remove := func(u pattern.NodeIdx, v graph.NodeID) {
 		if cand[u][v] {
 			cand[u][v] = false
+			removals++
 			worklist = append(worklist, pairT{u, v})
 		}
 	}
@@ -170,6 +197,7 @@ func dual(g *graph.Graph, q *pattern.Pattern, ix Oracle) *match.Relation {
 	}
 
 	// Initial sweep: every candidate is suspect.
+	_, spSweep := trace.StartSpan(ctx, "dual.sweep")
 	for u := 0; u < nq; u++ {
 		for _, v := range preds[u] {
 			if cand[u][v] && !satisfies(pattern.NodeIdx(u), v) {
@@ -177,7 +205,13 @@ func dual(g *graph.Graph, q *pattern.Pattern, ix Oracle) *match.Relation {
 			}
 		}
 	}
+	if spSweep != nil {
+		spSweep.SetInt("removals", int64(removals))
+		spSweep.End()
+	}
 	// Cascade: a removal can break neighbours in both directions.
+	sweepRemovals := removals
+	_, spCascade := trace.StartSpan(ctx, "dual.cascade")
 	for len(worklist) > 0 {
 		p := worklist[len(worklist)-1]
 		worklist = worklist[:len(worklist)-1]
@@ -190,6 +224,10 @@ func dual(g *graph.Graph, q *pattern.Pattern, ix Oracle) *match.Relation {
 			// ... and an ancestor witness for candidates of e.To downstream.
 			recheckAround(e.To, p.v, e.Bound, false)
 		}
+	}
+	if spCascade != nil {
+		spCascade.SetInt("removals", int64(removals-sweepRemovals))
+		spCascade.End()
 	}
 
 	r := match.NewRelation(nq)

@@ -33,6 +33,7 @@ package wal
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -47,6 +48,7 @@ import (
 
 	"expfinder/internal/graph"
 	"expfinder/internal/storage"
+	"expfinder/internal/trace"
 )
 
 // FsyncPolicy selects when appended records are forced to stable storage.
@@ -397,10 +399,17 @@ func (m *Manager) HasState(name string) bool {
 // LogUpdates appends one edge-update batch. postVersion is the graph's
 // version after the batch applied.
 func (m *Manager) LogUpdates(name string, ops []Update, postVersion uint64) error {
+	return m.LogUpdatesCtx(context.Background(), name, ops, postVersion)
+}
+
+// LogUpdatesCtx is LogUpdates emitting a "wal.append" trace span — with
+// payload size and fsync policy attributes — when ctx carries an active
+// trace (see internal/trace). Durability is identical either way.
+func (m *Manager) LogUpdatesCtx(ctx context.Context, name string, ops []Update, postVersion uint64) error {
 	if len(ops) == 0 {
 		return nil
 	}
-	return m.append(name, &record{kind: recUpdates, post: postVersion, ops: ops})
+	return m.appendCtx(ctx, name, &record{kind: recUpdates, post: postVersion, ops: ops})
 }
 
 // LogAddNode appends a node insertion.
@@ -437,6 +446,10 @@ func (m *Manager) LogVersion(name string, postVersion uint64) error {
 }
 
 func (m *Manager) append(name string, rec *record) error {
+	return m.appendCtx(context.Background(), name, rec)
+}
+
+func (m *Manager) appendCtx(ctx context.Context, name string, rec *record) error {
 	gl, err := m.lookup(name)
 	if err != nil {
 		return err
@@ -445,7 +458,15 @@ func (m *Manager) append(name string, rec *record) error {
 	if err := encodePayload(&buf, rec); err != nil {
 		return err
 	}
-	return gl.append(buf.Bytes(), rec.post)
+	_, sp := trace.StartSpan(ctx, "wal.append")
+	err = gl.append(buf.Bytes(), rec.post)
+	if sp != nil {
+		sp.SetInt("bytes", int64(buf.Len()))
+		sp.SetStr("fsync", m.opts.Fsync.String())
+		sp.SetBool("error", err != nil)
+		sp.End()
+	}
+	return err
 }
 
 // Checkpoint snapshots g and truncates the log it covers. The caller
