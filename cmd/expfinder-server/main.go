@@ -6,6 +6,7 @@
 //
 //	expfinder-server [-addr :8080] [-store DIR] [-demo]
 //	                 [-data-dir DIR] [-fsync always|interval|off]
+//	                 [-replication-listen ADDR | -replicate-from ADDR]
 //	                 [-auth-token TOKEN] [-rate-limit N] [-rate-burst N]
 //	                 [-max-inflight N] [-max-queue N] [-request-timeout D]
 //	                 [-cache-bytes N] [-trace-sample F] [-slow-query D] [-debug]
@@ -15,6 +16,16 @@
 // snapshots growing logs, and at boot the server recovers every
 // persisted graph — content, node ids, and version — before serving.
 // -fsync selects the durability/throughput trade-off (default interval).
+//
+// Replication (see ARCHITECTURE.md): -replication-listen ADDR makes
+// this node a leader streaming its WAL to followers (requires
+// -data-dir — the WAL is the replication stream). -replicate-from ADDR
+// makes it a follower: it mirrors the leader's graphs, serves reads,
+// queries, and subscriptions, and rejects writes with the read_only
+// error code naming the leader; POST /api/v1/admin/promote detaches it
+// for failover. A follower with -data-dir persists what it applies (and
+// its resume state), so a restart catches up by record replay instead
+// of re-fetching every graph.
 //
 // Serving-tier guardrails (all optional): -auth-token requires a bearer
 // token on every API route, -rate-limit enforces a per-client
@@ -67,8 +78,10 @@
 //	GET    /api/v1/cache/stats                 result-cache counters (byte-budgeted LRU)
 //	GET    /api/v1/admin/persistence           durability stats (WAL sizes, snapshots)
 //	POST   /api/v1/admin/persistence/checkpoint  force a checkpoint ({"graph": ...} or all)
+//	POST   /api/v1/admin/promote               follower failover: detach and accept writes
 //	GET    /api/v1/debug/traces                recent traced requests (span trees)
 //	GET    /api/v1/debug/slow                  slow-query log (over -slow-query)
+//	GET    /api/v1/debug/replication           replication role, lag, peers, counters
 //	GET    /healthz                            readiness + boot recovery summary (no auth)
 //	GET    /metrics                            Prometheus-style metrics (no auth)
 package main
@@ -79,15 +92,18 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"expfinder"
 	"expfinder/internal/dataset"
 	"expfinder/internal/engine"
+	"expfinder/internal/replication"
 	"expfinder/internal/server"
 	"expfinder/internal/wal"
 )
@@ -110,21 +126,52 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0, "fraction of requests traced into the debug ring (0 = explicit ?trace=1 only, 1 = all)")
 	slowQuery := flag.Duration("slow-query", 0, "log and retain requests slower than this (0 = off)")
 	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/ (bearer-authed when -auth-token is set)")
+	replListen := flag.String("replication-listen", "", "serve WAL-shipping replication to followers on this address (requires -data-dir)")
+	replFrom := flag.String("replicate-from", "", "run as a read-only follower of the leader at this replication address")
 	flag.Parse()
 
+	if *replListen != "" && *replFrom != "" {
+		log.Fatal("-replication-listen and -replicate-from are mutually exclusive: a node is a leader or a follower, not both")
+	}
+	if *replListen != "" && *dataDir == "" {
+		log.Fatal("-replication-listen requires -data-dir: the write-ahead log is the replication stream")
+	}
+
 	opts := engine.Options{CacheSize: *cacheSize, CacheBytes: *cacheBytes, Parallelism: *parallelism}
+	var walMgr *wal.Manager
 	if *dataDir != "" {
 		policy, err := wal.ParseFsyncPolicy(*fsync)
 		if err != nil {
 			log.Fatal(err)
 		}
-		m, err := wal.Open(wal.Options{Dir: *dataDir, Fsync: policy})
+		walMgr, err = wal.Open(wal.Options{Dir: *dataDir, Fsync: policy})
 		if err != nil {
 			log.Fatalf("open data dir: %v", err)
 		}
-		opts.Persistence = m
+		opts.Persistence = walMgr
 	}
 	eng := engine.New(opts)
+
+	// The leader must exist before recovery runs: it taps the WAL
+	// manager's observer hook, and recovery fires GraphCreated for every
+	// recovered graph — that is how recovered state becomes replicable.
+	var leader *replication.Leader
+	if *replListen != "" {
+		ln, err := net.Listen("tcp", *replListen)
+		if err != nil {
+			log.Fatalf("replication listen: %v", err)
+		}
+		leader, err = replication.NewLeader(replication.LeaderOptions{
+			Engine:   eng,
+			WAL:      walMgr,
+			Listener: ln,
+			Logger:   log.Default(),
+		})
+		if err != nil {
+			log.Fatalf("start replication leader: %v", err)
+		}
+		log.Printf("replication leader listening on %s", leader.Addr())
+	}
 
 	var recovery *engine.RecoverySummary
 	if opts.Persistence != nil {
@@ -151,6 +198,33 @@ func main() {
 			log.Printf("recovered %q (%d nodes, %d edges, version %d, %d wal records%s)",
 				gr.Name, gr.Nodes, gr.Edges, gr.Version, gr.Records, extra)
 		}
+	}
+
+	// The follower attaches after recovery: the engine then holds every
+	// locally persisted graph, so the hello reports real resume offsets
+	// and catch-up replays records instead of re-shipping snapshots. It
+	// also flips the engine read-only, so preloads below are skipped —
+	// a follower's graphs come from the leader, nowhere else.
+	var follower *replication.Follower
+	if *replFrom != "" {
+		fopts := replication.FollowerOptions{
+			Engine: eng,
+			Leader: *replFrom,
+			Logger: log.Default(),
+		}
+		if *dataDir != "" {
+			fopts.StateFile = filepath.Join(*dataDir, "replication-state.json")
+		}
+		var err error
+		follower, err = replication.NewFollower(fopts)
+		if err != nil {
+			log.Fatalf("start replication follower: %v", err)
+		}
+		log.Printf("replicating from leader %s (read-only until promoted)", *replFrom)
+		if *demo || *storeDir != "" {
+			log.Printf("follower mode: skipping -demo/-store preloads")
+		}
+		*demo, *storeDir = false, ""
 	}
 
 	if *demo {
@@ -207,6 +281,12 @@ func main() {
 	// /healthz reports the boot recovery outcome; readiness is implied by
 	// serving at all (recovery completed above, before the listener).
 	api.SetRecoverySummary(recovery)
+	switch {
+	case leader != nil:
+		api.SetReplication(leader)
+	case follower != nil:
+		api.SetReplication(follower)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api,
@@ -249,6 +329,15 @@ func main() {
 			log.Printf("forced shutdown: %v", err)
 			_ = srv.Close()
 		}
+	}
+	// Replication detaches before the engine closes: the follower must
+	// not apply records into a closing engine, and the leader's observer
+	// must unhook before the final WAL flush.
+	if follower != nil {
+		_ = follower.Close()
+	}
+	if leader != nil {
+		_ = leader.Close()
 	}
 	if err := eng.Close(); err != nil {
 		log.Printf("persistence close: %v", err)

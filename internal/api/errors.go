@@ -30,6 +30,10 @@ const (
 	CodePersistenceDisabled = "persistence_disabled"
 	CodeConflict            = "conflict"
 
+	// CodeReadOnly: this node is a replication follower; writes must go
+	// to the leader (named in details.leader). 403.
+	CodeReadOnly = "read_only"
+
 	// CodeUnauthorized: missing or wrong bearer token.
 	CodeUnauthorized = "unauthorized"
 	// CodeRateLimited: the per-client token bucket is empty (429).

@@ -159,6 +159,13 @@ type Engine struct {
 	persWG    sync.WaitGroup
 	closeOnce sync.Once
 
+	// Replication follower state (see replicate.go): while readOnly is
+	// set every public mutation path rejects with ReadOnlyError naming
+	// the leader; the replicated-apply paths bypass the guard.
+	roMu     sync.RWMutex
+	readOnly bool
+	leader   string
+
 	// rgCache memoizes result graphs alongside the relation cache: a cache
 	// hit would otherwise pay the full result-graph reconstruction (one
 	// bounded BFS per match), which dominates repeat-query latency.
@@ -311,6 +318,15 @@ func (e *Engine) rankingFor(key cache.Key, rg *match.ResultGraph, q *pattern.Pat
 // non-empty graphs), so a name with leftover persisted state is rejected
 // until it is either recovered (Recover) or dropped (RemoveGraph).
 func (e *Engine) AddGraph(name string, g *graph.Graph) error {
+	if err := e.writable(); err != nil {
+		return err
+	}
+	return e.addGraph(name, g)
+}
+
+// addGraph is AddGraph without the read-only guard — the replica-install
+// path registers leader-shipped graphs through it.
+func (e *Engine) addGraph(name string, g *graph.Graph) error {
 	e.mu.RLock()
 	_, taken := e.gs[name]
 	e.mu.RUnlock()
@@ -359,6 +375,15 @@ func (e *Engine) register(name string, g *graph.Graph) error {
 // restored so the caller can retry — otherwise an undeletable log would
 // be stranded for the next Recover() to resurrect.
 func (e *Engine) RemoveGraph(name string) error {
+	if err := e.writable(); err != nil {
+		return err
+	}
+	return e.removeGraph(name)
+}
+
+// removeGraph is RemoveGraph without the read-only guard (the follower
+// drops graphs the leader dropped).
+func (e *Engine) removeGraph(name string) error {
 	e.mu.Lock()
 	mg, ok := e.gs[name]
 	if !ok {
@@ -748,6 +773,9 @@ func (e *Engine) ApplyUpdatesCtx(ctx context.Context, graphName string, ops []in
 }
 
 func (e *Engine) applyUpdates(ctx context.Context, graphName string, ops []incremental.Update) ([]Delta, int, error) {
+	if err := e.writable(); err != nil {
+		return nil, 0, err
+	}
 	mg, err := e.lookup(graphName)
 	if err != nil {
 		return nil, 0, err
@@ -865,6 +893,9 @@ func (e *Engine) applyUpdates(ctx context.Context, graphName string, ops []incre
 // AddNode inserts a node into a managed graph, keeping registered queries
 // and the compressed form in sync.
 func (e *Engine) AddNode(graphName, label string, attrs graph.Attrs) (graph.NodeID, error) {
+	if err := e.writable(); err != nil {
+		return graph.Invalid, err
+	}
 	mg, err := e.lookup(graphName)
 	if err != nil {
 		return graph.Invalid, err
@@ -906,6 +937,9 @@ func (e *Engine) AddNode(graphName, label string, attrs graph.Attrs) (graph.Node
 // RemoveNode removes a node and its incident edges from a managed graph,
 // repairing registered queries and the compressed form incrementally.
 func (e *Engine) RemoveNode(graphName string, id graph.NodeID) error {
+	if err := e.writable(); err != nil {
+		return err
+	}
 	mg, err := e.lookup(graphName)
 	if err != nil {
 		return err
@@ -1022,6 +1056,9 @@ func (e *Engine) RemoveNode(graphName string, id graph.NodeID) error {
 // registered queries and the compressed form in sync (the predicate and
 // signature changes are repaired incrementally).
 func (e *Engine) SetNodeAttr(graphName string, id graph.NodeID, key string, v graph.Value) error {
+	if err := e.writable(); err != nil {
+		return err
+	}
 	mg, err := e.lookup(graphName)
 	if err != nil {
 		return err

@@ -1,0 +1,348 @@
+package engine
+
+// Replication support: the follower half of WAL shipping. A follower
+// engine runs in read-only mode — every public mutation path rejects
+// with ReadOnlyError naming the leader — while the replication client
+// feeds it leader state through two bypass paths: InstallReplicaGraph
+// (snapshot install) and ApplyReplicatedRecord (record replay). Records
+// replay through the same decoded form as crash recovery
+// (wal.Record.Apply is the reference semantics), but routed through the
+// engine so every attached consumer — incremental matchers, compressed
+// form, distance index, partitioning, live subscriptions — syncs
+// exactly as it would on a native mutation. That is what lets a
+// follower serve queries AND subscriptions with results byte-identical
+// to the leader at the same applied offset.
+
+import (
+	"errors"
+	"fmt"
+
+	"expfinder/internal/compress"
+	"expfinder/internal/distindex"
+	"expfinder/internal/graph"
+	"expfinder/internal/incremental"
+	"expfinder/internal/partition"
+	"expfinder/internal/wal"
+)
+
+// ErrReadOnly matches any ReadOnlyError via errors.Is — the sentinel
+// the serving tier maps to the stable "read_only" error code.
+var ErrReadOnly = errors.New("engine: read-only replication follower")
+
+// ReadOnlyError rejects a write on a follower. Leader is the address
+// writes should go to instead ("" when unknown, e.g. mid-reconnect).
+type ReadOnlyError struct {
+	Leader string
+}
+
+func (e *ReadOnlyError) Error() string {
+	if e.Leader == "" {
+		return "engine: read-only replication follower"
+	}
+	return fmt.Sprintf("engine: read-only replication follower (leader %s)", e.Leader)
+}
+
+// Is makes errors.Is(err, ErrReadOnly) hold for every ReadOnlyError.
+func (e *ReadOnlyError) Is(target error) bool { return target == ErrReadOnly }
+
+// SetReadOnly puts the engine in follower mode: public mutations fail
+// with a ReadOnlyError naming the given leader address until
+// ClearReadOnly. Reads, queries, subscriptions, and local accelerator
+// builds (index, compression, partitioning) stay available.
+func (e *Engine) SetReadOnly(leader string) {
+	e.roMu.Lock()
+	e.readOnly = true
+	e.leader = leader
+	e.roMu.Unlock()
+}
+
+// ClearReadOnly returns the engine to writable mode — the promote path.
+func (e *Engine) ClearReadOnly() {
+	e.roMu.Lock()
+	e.readOnly = false
+	e.leader = ""
+	e.roMu.Unlock()
+}
+
+// ReadOnly reports whether the engine is in follower mode and, if so,
+// the leader address writes are redirected to.
+func (e *Engine) ReadOnly() (bool, string) {
+	e.roMu.RLock()
+	defer e.roMu.RUnlock()
+	return e.readOnly, e.leader
+}
+
+// writable is the guard on every public mutation path.
+func (e *Engine) writable() error {
+	e.roMu.RLock()
+	ro, leader := e.readOnly, e.leader
+	e.roMu.RUnlock()
+	if ro {
+		return &ReadOnlyError{Leader: leader}
+	}
+	return nil
+}
+
+// GraphVersions snapshots every managed graph's current version — the
+// follower's handshake payload (a graph's version IS its replication
+// offset: records carry post-mutation versions, so "resume after V"
+// and "resume after record offset" are the same statement).
+func (e *Engine) GraphVersions() map[string]uint64 {
+	e.mu.RLock()
+	mgs := make(map[string]*managed, len(e.gs))
+	for name, mg := range e.gs {
+		mgs[name] = mg
+	}
+	e.mu.RUnlock()
+	out := make(map[string]uint64, len(mgs))
+	for name, mg := range mgs {
+		mg.mu.RLock()
+		out[name] = mg.g.Version()
+		mg.mu.RUnlock()
+	}
+	return out
+}
+
+// InstallReplicaGraph replaces (or creates) a graph wholesale from a
+// leader snapshot, bypassing the read-only guard. Any existing
+// registration under the name is torn down first — subscriptions
+// close, caches purge — because a snapshot install means the follower
+// could not reach this state by record replay. If the follower has its
+// own persistence, the snapshot is re-persisted locally so a follower
+// crash recovers without the leader.
+func (e *Engine) InstallReplicaGraph(name string, g *graph.Graph) error {
+	if err := e.removeGraph(name); err != nil && !errors.Is(err, ErrNoGraph) {
+		return fmt.Errorf("engine: clear replica %q: %w", name, err)
+	}
+	if pers := e.opts.Persistence; pers != nil {
+		if pers.HasState(name) {
+			// A failed earlier install can leave state with no registration.
+			if err := pers.Drop(name); err != nil {
+				return fmt.Errorf("engine: clear replica state %q: %w", name, err)
+			}
+		}
+		if err := pers.Create(name, g); err != nil {
+			return fmt.Errorf("engine: persist replica %q: %w", name, err)
+		}
+	}
+	if err := e.register(name, g); err != nil {
+		if pers := e.opts.Persistence; pers != nil {
+			_ = pers.Drop(name)
+		}
+		return err
+	}
+	return nil
+}
+
+// DropReplicaGraph removes a graph the leader dropped, bypassing the
+// read-only guard. Unknown names are a no-op (the follower may never
+// have installed it).
+func (e *Engine) DropReplicaGraph(name string) error {
+	err := e.removeGraph(name)
+	if errors.Is(err, ErrNoGraph) {
+		return nil
+	}
+	return err
+}
+
+// ApplyReplicatedRecord replays one leader WAL record onto a follower
+// graph, bypassing the read-only guard. The mutation applies exactly as
+// wal.Record.Apply would in crash recovery — same ops, same version
+// restore — but through the engine's consumer fan-out, so matchers,
+// accelerators, and live subscriptions advance in lockstep. Records at
+// or below the graph's version are skipped (ring replay after a
+// reconnect legitimately overlaps). Errors mean the follower diverged
+// from the leader's stream; the caller must resync by snapshot, not
+// retry.
+func (e *Engine) ApplyReplicatedRecord(name string, rec *wal.Record) error {
+	mg, err := e.lookup(name)
+	if err != nil {
+		return err
+	}
+	mg.mu.Lock()
+	defer mg.mu.Unlock()
+	if rec.Post <= mg.g.Version() {
+		return nil
+	}
+	if err := e.applyRecordLocked(name, mg, rec); err != nil {
+		return err
+	}
+	// Restore the leader's exact post-mutation version, then let every
+	// consumer's freshness tracking catch up to it (their syncs above saw
+	// the pre-restore version).
+	mg.g.RestoreVersion(rec.Post)
+	for _, m := range mg.matchers {
+		m.RefreshVersion()
+	}
+	if mg.comp != nil {
+		mg.comp.RefreshVersion()
+	}
+	if mg.idx != nil && rec.Kind != wal.RecRemoveNode {
+		mg.idx.RefreshVersion()
+	}
+	if mg.part != nil {
+		mg.part.RefreshVersion()
+	}
+	// Re-log to local persistence so a follower crash recovers to the
+	// applied offset without re-fetching from the leader.
+	if pers := e.opts.Persistence; pers != nil {
+		if err := pers.LogRecord(name, rec); err != nil {
+			return fmt.Errorf("engine: re-log replicated record: %w", err)
+		}
+	}
+	return nil
+}
+
+// applyRecordLocked dispatches one record kind under mg.mu, mirroring
+// the corresponding native mutation path's consumer fan-out.
+func (e *Engine) applyRecordLocked(name string, mg *managed, rec *wal.Record) error {
+	switch rec.Kind {
+	case wal.RecUpdates:
+		ops := make([]incremental.Update, len(rec.Ops))
+		for i, op := range rec.Ops {
+			ops[i] = incremental.Update{Insert: op.Insert, From: op.From, To: op.To}
+		}
+		for i, op := range ops {
+			var err error
+			if op.Insert {
+				err = mg.g.AddEdge(op.From, op.To)
+			} else {
+				err = mg.g.RemoveEdge(op.From, op.To)
+			}
+			if err != nil {
+				return fmt.Errorf("engine: replicate op %d: %w", i, err)
+			}
+		}
+		for h, m := range mg.matchers {
+			if _, _, err := m.Sync(ops); err != nil {
+				return fmt.Errorf("engine: replicate sync matcher %s: %w", h[:8], err)
+			}
+		}
+		if mg.comp != nil {
+			cops := make([]compress.Update, len(ops))
+			for i, op := range ops {
+				cops[i] = compress.Update{Insert: op.Insert, From: op.From, To: op.To}
+			}
+			if err := mg.comp.Sync(cops); err != nil {
+				return fmt.Errorf("engine: replicate sync compressed graph: %w", err)
+			}
+		}
+		if mg.idx != nil {
+			iops := make([]distindex.Update, len(ops))
+			for i, op := range ops {
+				iops[i] = distindex.Update{Insert: op.Insert, From: op.From, To: op.To}
+			}
+			mg.idx.Sync(iops)
+		}
+		if mg.part != nil {
+			pops := make([]partition.Update, len(ops))
+			for i, op := range ops {
+				pops[i] = partition.Update{Insert: op.Insert, From: op.From, To: op.To}
+			}
+			mg.part.Sync(pops)
+		}
+		e.hub.HandleUpdates(name, mg.g, ops)
+	case wal.RecAddNode:
+		id := mg.g.AddNode(rec.Label, rec.Attrs)
+		for _, m := range mg.matchers {
+			m.SyncNodeAdded(id)
+		}
+		if mg.comp != nil {
+			if err := mg.comp.SyncNodeAdded(id); err != nil {
+				return fmt.Errorf("engine: replicate sync compressed graph: %w", err)
+			}
+		}
+		if mg.idx != nil {
+			mg.idx.SyncNodeAdded(id)
+		}
+		if mg.part != nil {
+			mg.part.SyncNodeAdded(id)
+		}
+		e.hub.HandleNodeAdded(name, mg.g, id)
+	case wal.RecRemoveNode:
+		if !mg.g.Has(rec.ID) {
+			return fmt.Errorf("engine: replicate remove node %d: %w", rec.ID, graph.ErrNoNode)
+		}
+		// Mirror RemoveNode: invalidate what cannot repair, detach
+		// incident edges through the edge-update path, then drop the node.
+		if mg.idx != nil {
+			mg.idx.Invalidate()
+		}
+		e.hub.Invalidate(name)
+		var ops []incremental.Update
+		for _, v := range mg.g.Out(rec.ID) {
+			ops = append(ops, incremental.Delete(rec.ID, v))
+		}
+		for _, u := range mg.g.In(rec.ID) {
+			if u != rec.ID {
+				ops = append(ops, incremental.Delete(u, rec.ID))
+			}
+		}
+		for _, op := range ops {
+			if err := mg.g.RemoveEdge(op.From, op.To); err != nil {
+				return fmt.Errorf("engine: replicate detach node %d: %w", rec.ID, err)
+			}
+		}
+		for _, m := range mg.matchers {
+			if _, _, err := m.Sync(ops); err != nil {
+				return fmt.Errorf("engine: replicate sync matcher: %w", err)
+			}
+		}
+		if mg.comp != nil {
+			cops := make([]compress.Update, len(ops))
+			for i, op := range ops {
+				cops[i] = compress.Update{Insert: op.Insert, From: op.From, To: op.To}
+			}
+			if err := mg.comp.Sync(cops); err != nil {
+				return fmt.Errorf("engine: replicate sync compressed graph: %w", err)
+			}
+		}
+		if mg.part != nil {
+			pops := make([]partition.Update, len(ops))
+			for i, op := range ops {
+				pops[i] = partition.Update{Insert: op.Insert, From: op.From, To: op.To}
+			}
+			mg.part.Sync(pops)
+		}
+		for _, m := range mg.matchers {
+			m.SyncNodeRemoving(rec.ID)
+		}
+		if mg.comp != nil {
+			if err := mg.comp.SyncNodeRemoving(rec.ID); err != nil {
+				return fmt.Errorf("engine: replicate sync compressed graph: %w", err)
+			}
+		}
+		if err := mg.g.RemoveNode(rec.ID); err != nil {
+			return fmt.Errorf("engine: replicate remove node %d: %w", rec.ID, err)
+		}
+		if mg.part != nil {
+			mg.part.SyncNodeRemoved(rec.ID)
+		}
+	case wal.RecSetAttr:
+		if err := mg.g.SetAttr(rec.ID, rec.Key, rec.Val); err != nil {
+			return fmt.Errorf("engine: replicate set attr on node %d: %w", rec.ID, err)
+		}
+		for _, m := range mg.matchers {
+			if _, _, err := m.SyncAttrChanged(rec.ID); err != nil {
+				return fmt.Errorf("engine: replicate sync matcher: %w", err)
+			}
+		}
+		if mg.comp != nil {
+			if err := mg.comp.SyncAttrChanged(rec.ID); err != nil {
+				return fmt.Errorf("engine: replicate sync compressed graph: %w", err)
+			}
+		}
+		if mg.idx != nil {
+			mg.idx.SyncAttrChanged(rec.ID)
+		}
+		if mg.part != nil {
+			mg.part.SyncAttrChanged(rec.ID)
+		}
+		e.hub.Invalidate(name)
+	case wal.RecVersion:
+		// Version restore below is the whole mutation.
+	default:
+		return fmt.Errorf("engine: replicate unknown record kind %d", rec.Kind)
+	}
+	return nil
+}

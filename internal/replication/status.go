@@ -1,0 +1,54 @@
+package replication
+
+// Status is the role-agnostic replication snapshot the serving tier
+// exposes at /api/v1/debug/replication and summarizes in /healthz.
+type Status struct {
+	// Role is "leader" or "follower".
+	Role string `json:"role"`
+	// Addr is the leader's replication listen address (leader only).
+	Addr string `json:"addr,omitempty"`
+	// Leader is the upstream address writes should go to (follower only).
+	Leader string `json:"leader,omitempty"`
+	// Connected reports a live upstream link (follower only).
+	Connected bool `json:"connected,omitempty"`
+	// LagRecords is the replication lag in records (version steps): for
+	// a follower, how far its applied versions trail the leader's last
+	// heartbeat; for a leader, the largest such gap across followers.
+	LagRecords uint64 `json:"lag_records"`
+	// Applied is the follower's per-graph applied version.
+	Applied map[string]uint64 `json:"applied,omitempty"`
+	// LeaderVersions is the leader's per-graph versions as of the last
+	// heartbeat (follower only).
+	LeaderVersions map[string]uint64 `json:"leader_versions,omitempty"`
+	// Followers describes each connected follower (leader only).
+	Followers []FollowerInfo `json:"followers,omitempty"`
+
+	// Counters.
+	SnapshotsSent      uint64 `json:"snapshots_sent,omitempty"`
+	RecordsShipped     uint64 `json:"records_shipped,omitempty"`
+	SnapshotsInstalled uint64 `json:"snapshots_installed,omitempty"`
+	RecordsApplied     uint64 `json:"records_applied,omitempty"`
+	Reconnects         uint64 `json:"reconnects,omitempty"`
+	// Severed counts connections the leader cut (slow follower outbox
+	// overflow or protocol damage).
+	Severed uint64 `json:"severed,omitempty"`
+}
+
+// FollowerInfo is one connected follower as the leader sees it.
+type FollowerInfo struct {
+	Remote string `json:"remote"`
+	// Acked is the follower's last acknowledged per-graph versions.
+	Acked map[string]uint64 `json:"acked,omitempty"`
+	// LagRecords sums, over the leader's graphs, how far the follower's
+	// acks trail the leader's current versions.
+	LagRecords uint64 `json:"lag_records"`
+}
+
+// Source is what the server wires health and debug endpoints to: both
+// Leader and Follower implement it.
+type Source interface {
+	Status() Status
+	// Promote turns a follower writable (clearing read-only mode and
+	// detaching from the leader); on a leader it fails.
+	Promote() error
+}

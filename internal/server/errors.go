@@ -26,9 +26,16 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 // writeErr renders err as the error envelope, deriving the stable code
-// from the error chain (falling back to a status-default code).
+// from the error chain (falling back to a status-default code). A
+// read-only rejection carries the leader's address in details so a
+// client can redirect its write without a second lookup.
 func writeErr(w http.ResponseWriter, status int, err error) {
-	writeEnvelope(w, status, codeFor(status, err), err.Error(), nil)
+	var details map[string]any
+	var ro *engine.ReadOnlyError
+	if errors.As(err, &ro) && ro.Leader != "" {
+		details = map[string]any{"leader": ro.Leader}
+	}
+	writeEnvelope(w, status, codeFor(status, err), err.Error(), details)
 }
 
 // writeCode renders err under an explicit code, for call sites whose
@@ -53,6 +60,8 @@ func statusFor(err error) int {
 	case errors.Is(err, engine.ErrGraphExists), errors.Is(err, wal.ErrExists),
 		errors.Is(err, engine.ErrNoPersistence):
 		return http.StatusConflict
+	case errors.Is(err, engine.ErrReadOnly):
+		return http.StatusForbidden
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	default:
@@ -78,6 +87,8 @@ func codeFor(status int, err error) string {
 		return api.CodeGraphExists
 	case errors.Is(err, engine.ErrNoPersistence):
 		return api.CodePersistenceDisabled
+	case errors.Is(err, engine.ErrReadOnly):
+		return api.CodeReadOnly
 	case errors.Is(err, context.DeadlineExceeded):
 		return api.CodeDeadlineExceeded
 	}

@@ -34,6 +34,20 @@ type healthBody struct {
 	RecoveryFailed   int  `json:"recovery_failed"`
 	// Recovery carries the per-graph summaries when recovery ran.
 	Recovery []engine.GraphRecovery `json:"recovery,omitempty"`
+	// Replication summarizes this node's replication role when one is
+	// configured (full detail at /api/v1/debug/replication).
+	Replication *healthReplication `json:"replication,omitempty"`
+}
+
+// healthReplication is the /healthz replication summary.
+type healthReplication struct {
+	Role string `json:"role"`
+	// Leader is where writes go when this node is a follower.
+	Leader string `json:"leader,omitempty"`
+	// Connected reports a live upstream link (follower only).
+	Connected bool `json:"connected,omitempty"`
+	// LagRecords is the replication lag in records (see Status).
+	LagRecords uint64 `json:"lag_records"`
 }
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
@@ -47,6 +61,15 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	if s.recovery != nil {
 		body.Recovery = s.recovery.Graphs
 		body.RecoveryFailed = len(s.recovery.Failed())
+	}
+	if s.repl != nil {
+		st := s.repl.Status()
+		body.Replication = &healthReplication{
+			Role:       st.Role,
+			Leader:     st.Leader,
+			Connected:  st.Connected,
+			LagRecords: st.LagRecords,
+		}
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -1,0 +1,44 @@
+package server
+
+// Replication surfaces: role/lag in /healthz, the full picture at
+// GET /api/v1/debug/replication, and failover via
+// POST /api/v1/admin/promote. The server does not care which side it is
+// on — leaders and followers both implement replication.Source.
+
+import (
+	"errors"
+	"net/http"
+
+	"expfinder/internal/replication"
+)
+
+// SetReplication attaches the node's replication role (a Leader or a
+// Follower) for health, debug, and promote to report against. Call it
+// before the server starts serving (read without synchronization
+// afterwards); standalone nodes skip it.
+func (s *Server) SetReplication(src replication.Source) { s.repl = src }
+
+// debugReplication serves GET /api/v1/debug/replication.
+func (s *Server) debugReplication(w http.ResponseWriter, r *http.Request) {
+	if s.repl == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"role": "standalone"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.repl.Status())
+}
+
+// promote serves POST /api/v1/admin/promote: detach from the leader and
+// start accepting writes. Promoting a standalone node or a leader is a
+// conflict, not a no-op — the operator asked for a state change that
+// cannot happen.
+func (s *Server) promote(w http.ResponseWriter, r *http.Request) {
+	if s.repl == nil {
+		writeErr(w, http.StatusConflict, errors.New("replication not configured"))
+		return
+	}
+	if err := s.repl.Promote(); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "role": "leader"})
+}

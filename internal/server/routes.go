@@ -56,10 +56,14 @@ func (s *Server) routes() []route {
 		{"GET", "/cache/stats", "cache_stats", true, s.cacheStats},
 		{"GET", "/admin/persistence", "persistence_stats", true, s.persistenceStats},
 		{"POST", "/admin/persistence/checkpoint", "force_checkpoint", true, s.forceCheckpoint},
+		// Promote must work while a degraded follower sheds load — that is
+		// exactly when failover happens — so it skips admission.
+		{"POST", "/admin/promote", "promote", false, s.promote},
 		// Debug surfaces skip admission: inspecting recent and slow
 		// traces must keep working while the server sheds load.
 		{"GET", "/debug/traces", "debug_traces", false, s.debugTraces},
 		{"GET", "/debug/slow", "debug_slow", false, s.debugSlow},
+		{"GET", "/debug/replication", "debug_replication", false, s.debugReplication},
 	}
 }
 

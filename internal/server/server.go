@@ -30,6 +30,7 @@ import (
 	"expfinder/internal/api"
 	"expfinder/internal/engine"
 	"expfinder/internal/metrics"
+	"expfinder/internal/replication"
 	"expfinder/internal/trace"
 )
 
@@ -81,6 +82,9 @@ type Server struct {
 	// recovery is the boot-time recovery summary /healthz reports; set
 	// once via SetRecoverySummary before serving, nil without one.
 	recovery *engine.RecoverySummary
+	// repl is the node's replication role (leader or follower); set once
+	// via SetReplication before serving, nil on standalone nodes.
+	repl replication.Source
 
 	registry *metrics.Registry
 	limiter  *rateLimiter
@@ -173,6 +177,15 @@ func New(eng *engine.Engine, cfg ...Config) *Server {
 	s.registry.NewGaugeFunc("expfinder_engine_inflight",
 		"Queries holding an engine execution token.", func() float64 {
 			return float64(s.eng.InflightQueries())
+		})
+	s.registry.NewGaugeFunc("expfinder_replication_lag_records",
+		"Replication lag in records: a follower's distance behind the "+
+			"leader's last heartbeat, or a leader's worst follower gap. "+
+			"0 when standalone.", func() float64 {
+			if s.repl == nil {
+				return 0
+			}
+			return float64(s.repl.Status().LagRecords)
 		})
 	s.registry.NewGaugeFunc("expfinder_engine_queue_depth",
 		"Queries parked waiting for an engine execution token.", func() float64 {

@@ -1,0 +1,161 @@
+package testutil
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrSevered is returned by a FaultConn once its fault has fired: the
+// connection was cut mid-stream, possibly leaving a torn frame on the
+// wire.
+var ErrSevered = errors.New("testutil: connection severed by fault injection")
+
+// FaultConn wraps a net.Conn with deterministic fault injection for
+// replication tests: sever the link after exactly N bytes in either
+// direction (leaving a torn frame on the wire), or delay every transfer
+// to simulate a slow peer. The zero budgets mean "no fault"; faults are
+// armed per direction with SeverAfterWrite/SeverAfterRead.
+//
+// Severing closes the underlying conn, so the peer observes a hard
+// disconnect — the same failure mode as a killed process or dropped
+// link, which is what reconnect/resume logic must survive.
+type FaultConn struct {
+	net.Conn
+
+	mu          sync.Mutex
+	writeBudget int64 // bytes until sever; negative = unlimited
+	readBudget  int64
+	delay       time.Duration
+	severed     bool
+}
+
+// NewFaultConn wraps c with no faults armed.
+func NewFaultConn(c net.Conn) *FaultConn {
+	return &FaultConn{Conn: c, writeBudget: -1, readBudget: -1}
+}
+
+// SeverAfterWrite arms the write-side fault: after n more bytes are
+// written, the connection is cut — mid-Write if the budget falls inside
+// a buffer, which is exactly how a torn frame lands on the wire.
+func (fc *FaultConn) SeverAfterWrite(n int64) {
+	fc.mu.Lock()
+	fc.writeBudget = n
+	fc.mu.Unlock()
+}
+
+// SeverAfterRead arms the read-side fault: after n more bytes are read,
+// the connection is cut.
+func (fc *FaultConn) SeverAfterRead(n int64) {
+	fc.mu.Lock()
+	fc.readBudget = n
+	fc.mu.Unlock()
+}
+
+// SetDelay makes every subsequent Read and Write sleep for d first — a
+// blunt but effective slow-peer simulation for backpressure tests.
+func (fc *FaultConn) SetDelay(d time.Duration) {
+	fc.mu.Lock()
+	fc.delay = d
+	fc.mu.Unlock()
+}
+
+// Sever cuts the connection immediately.
+func (fc *FaultConn) Sever() {
+	fc.mu.Lock()
+	fc.severed = true
+	fc.mu.Unlock()
+	_ = fc.Conn.Close()
+}
+
+// Severed reports whether a fault has fired (or Sever was called).
+func (fc *FaultConn) Severed() bool {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.severed
+}
+
+func (fc *FaultConn) Write(p []byte) (int, error) {
+	fc.mu.Lock()
+	if fc.severed {
+		fc.mu.Unlock()
+		return 0, ErrSevered
+	}
+	d := fc.delay
+	budget := fc.writeBudget
+	partial := int64(-1)
+	if budget >= 0 {
+		if int64(len(p)) >= budget {
+			partial = budget // write this many, then cut
+			fc.severed = true
+		} else {
+			fc.writeBudget = budget - int64(len(p))
+		}
+	}
+	fc.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if partial >= 0 {
+		n, _ := fc.Conn.Write(p[:partial])
+		_ = fc.Conn.Close()
+		return n, ErrSevered
+	}
+	return fc.Conn.Write(p)
+}
+
+func (fc *FaultConn) Read(p []byte) (int, error) {
+	fc.mu.Lock()
+	if fc.severed {
+		fc.mu.Unlock()
+		return 0, ErrSevered
+	}
+	d := fc.delay
+	budget := fc.readBudget
+	if budget >= 0 && int64(len(p)) > budget {
+		p = p[:budget] // shrink so the fault fires on an exact byte count
+	}
+	fc.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	n, err := fc.Conn.Read(p)
+	if budget >= 0 {
+		fc.mu.Lock()
+		fc.readBudget -= int64(n)
+		cut := fc.readBudget <= 0
+		if cut {
+			fc.severed = true
+		}
+		fc.mu.Unlock()
+		if cut {
+			_ = fc.Conn.Close()
+			if err == nil {
+				err = ErrSevered
+			}
+		}
+	}
+	return n, err
+}
+
+// FaultListener wraps a net.Listener so every accepted connection is
+// passed through wrap — the hook a test uses to hand fault-injected
+// conns to a server that only knows how to Accept.
+type FaultListener struct {
+	net.Listener
+	wrap func(net.Conn) net.Conn
+}
+
+// WrapListener builds a FaultListener; wrap runs on every accepted conn.
+func WrapListener(l net.Listener, wrap func(net.Conn) net.Conn) *FaultListener {
+	return &FaultListener{Listener: l, wrap: wrap}
+}
+
+func (fl *FaultListener) Accept() (net.Conn, error) {
+	c, err := fl.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return fl.wrap(c), nil
+}

@@ -10,18 +10,22 @@ import (
 	"expfinder/internal/storage"
 )
 
-// Record kinds, one per engine mutation path. recVersion carries no
+// Record kinds, one per engine mutation path. RecVersion carries no
 // mutation: it advances the version counter alone, for writers whose
 // content is unchanged but whose version moved. (The engine's rollback
 // path does NOT use it — a rollback re-adds edges by append, changing
 // adjacency ORDER, so it logs the forward+inverse op sequence instead to
 // keep recovery byte-identical.)
+//
+// The kinds are exported because replication ships record payloads
+// verbatim: a follower decodes the same bytes the leader framed and
+// applies them through the same code path as crash recovery.
 const (
-	recUpdates    byte = 1
-	recAddNode    byte = 2
-	recRemoveNode byte = 3
-	recSetAttr    byte = 4
-	recVersion    byte = 5
+	RecUpdates    byte = 1
+	RecAddNode    byte = 2
+	RecRemoveNode byte = 3
+	RecSetAttr    byte = 4
+	RecVersion    byte = 5
 )
 
 // Update is one edge insertion or deletion, the WAL's mirror of
@@ -32,34 +36,34 @@ type Update struct {
 	From, To graph.NodeID
 }
 
-// record is the decoded form of one log entry. post is the graph's
+// Record is the decoded form of one log entry. Post is the graph's
 // version immediately after the mutation; replay restores it exactly, so
 // recovered graphs re-enter the engine at the version every persisted
 // consumer (stored results, index metadata) knew them by.
-type record struct {
-	kind  byte
-	post  uint64
-	ops   []Update     // recUpdates
-	label string       // recAddNode
-	attrs graph.Attrs  // recAddNode
-	id    graph.NodeID // recRemoveNode, recSetAttr
-	key   string       // recSetAttr
-	val   graph.Value  // recSetAttr
+type Record struct {
+	Kind  byte
+	Post  uint64
+	Ops   []Update     // RecUpdates
+	Label string       // RecAddNode
+	Attrs graph.Attrs  // RecAddNode
+	ID    graph.NodeID // RecRemoveNode, RecSetAttr
+	Key   string       // RecSetAttr
+	Val   graph.Value  // RecSetAttr
 }
 
-// encodePayload serializes the record body (everything the frame CRC
+// EncodeRecord serializes the record body (everything the frame CRC
 // covers) using the storage binary conventions.
-func encodePayload(buf *bytes.Buffer, r *record) error {
-	buf.WriteByte(r.kind)
-	if err := storage.WriteUvarint(buf, r.post); err != nil {
+func EncodeRecord(buf *bytes.Buffer, r *Record) error {
+	buf.WriteByte(r.Kind)
+	if err := storage.WriteUvarint(buf, r.Post); err != nil {
 		return err
 	}
-	switch r.kind {
-	case recUpdates:
-		if err := storage.WriteUvarint(buf, uint64(len(r.ops))); err != nil {
+	switch r.Kind {
+	case RecUpdates:
+		if err := storage.WriteUvarint(buf, uint64(len(r.Ops))); err != nil {
 			return err
 		}
-		for _, op := range r.ops {
+		for _, op := range r.Ops {
 			ins := byte(0)
 			if op.Insert {
 				ins = 1
@@ -72,15 +76,15 @@ func encodePayload(buf *bytes.Buffer, r *record) error {
 				return err
 			}
 		}
-	case recAddNode:
-		if err := storage.WriteString(buf, r.label); err != nil {
+	case RecAddNode:
+		if err := storage.WriteString(buf, r.Label); err != nil {
 			return err
 		}
-		if err := storage.WriteUvarint(buf, uint64(len(r.attrs))); err != nil {
+		if err := storage.WriteUvarint(buf, uint64(len(r.Attrs))); err != nil {
 			return err
 		}
-		keys := make([]string, 0, len(r.attrs))
-		for k := range r.attrs {
+		keys := make([]string, 0, len(r.Attrs))
+		for k := range r.Attrs {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
@@ -88,36 +92,37 @@ func encodePayload(buf *bytes.Buffer, r *record) error {
 			if err := storage.WriteString(buf, k); err != nil {
 				return err
 			}
-			if err := storage.WriteValue(buf, r.attrs[k]); err != nil {
+			if err := storage.WriteValue(buf, r.Attrs[k]); err != nil {
 				return err
 			}
 		}
-	case recRemoveNode:
-		if err := storage.WriteUvarint(buf, uint64(r.id)); err != nil {
+	case RecRemoveNode:
+		if err := storage.WriteUvarint(buf, uint64(r.ID)); err != nil {
 			return err
 		}
-	case recSetAttr:
-		if err := storage.WriteUvarint(buf, uint64(r.id)); err != nil {
+	case RecSetAttr:
+		if err := storage.WriteUvarint(buf, uint64(r.ID)); err != nil {
 			return err
 		}
-		if err := storage.WriteString(buf, r.key); err != nil {
+		if err := storage.WriteString(buf, r.Key); err != nil {
 			return err
 		}
-		if err := storage.WriteValue(buf, r.val); err != nil {
+		if err := storage.WriteValue(buf, r.Val); err != nil {
 			return err
 		}
-	case recVersion:
+	case RecVersion:
 		// post alone.
 	default:
-		return fmt.Errorf("wal: unknown record kind %d", r.kind)
+		return fmt.Errorf("wal: unknown record kind %d", r.Kind)
 	}
 	return nil
 }
 
-// decodeRecord parses one CRC-verified payload. Errors mean corruption
+// DecodeRecord parses one CRC-verified payload. Errors mean corruption
 // beyond what the frame checksum caught (which is why they are treated
-// as fatal, not torn-tail, by the replayer).
-func decodeRecord(payload []byte) (*record, error) {
+// as fatal, not torn-tail, by the replayer — and as a resync trigger,
+// never a silent skip, by a replication follower).
+func DecodeRecord(payload []byte) (*Record, error) {
 	br := bytes.NewReader(payload)
 	kind, err := br.ReadByte()
 	if err != nil {
@@ -127,7 +132,7 @@ func decodeRecord(payload []byte) (*record, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: record version: %w", err)
 	}
-	rec := &record{kind: kind, post: post}
+	rec := &Record{Kind: kind, Post: post}
 	readID := func() (graph.NodeID, error) {
 		u, err := binary.ReadUvarint(br)
 		if err != nil {
@@ -139,7 +144,7 @@ func decodeRecord(payload []byte) (*record, error) {
 		return graph.NodeID(u), nil
 	}
 	switch kind {
-	case recUpdates:
+	case RecUpdates:
 		n, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
@@ -154,7 +159,7 @@ func decodeRecord(payload []byte) (*record, error) {
 		if hint > 1<<16 {
 			hint = 1 << 16
 		}
-		rec.ops = make([]Update, 0, hint)
+		rec.Ops = make([]Update, 0, hint)
 		for i := uint64(0); i < n; i++ {
 			ins, err := br.ReadByte()
 			if err != nil {
@@ -171,10 +176,10 @@ func decodeRecord(payload []byte) (*record, error) {
 			if err != nil {
 				return nil, err
 			}
-			rec.ops = append(rec.ops, Update{Insert: ins == 1, From: from, To: to})
+			rec.Ops = append(rec.Ops, Update{Insert: ins == 1, From: from, To: to})
 		}
-	case recAddNode:
-		if rec.label, err = storage.ReadString(br, 1<<20); err != nil {
+	case RecAddNode:
+		if rec.Label, err = storage.ReadString(br, 1<<20); err != nil {
 			return nil, err
 		}
 		n, err := binary.ReadUvarint(br)
@@ -185,7 +190,7 @@ func decodeRecord(payload []byte) (*record, error) {
 			return nil, fmt.Errorf("wal: implausible attr count %d", n)
 		}
 		if n > 0 {
-			rec.attrs = make(graph.Attrs, n)
+			rec.Attrs = make(graph.Attrs, n)
 			for i := uint64(0); i < n; i++ {
 				k, err := storage.ReadString(br, 1<<20)
 				if err != nil {
@@ -195,24 +200,24 @@ func decodeRecord(payload []byte) (*record, error) {
 				if err != nil {
 					return nil, err
 				}
-				rec.attrs[k] = v
+				rec.Attrs[k] = v
 			}
 		}
-	case recRemoveNode:
-		if rec.id, err = readID(); err != nil {
+	case RecRemoveNode:
+		if rec.ID, err = readID(); err != nil {
 			return nil, err
 		}
-	case recSetAttr:
-		if rec.id, err = readID(); err != nil {
+	case RecSetAttr:
+		if rec.ID, err = readID(); err != nil {
 			return nil, err
 		}
-		if rec.key, err = storage.ReadString(br, 1<<20); err != nil {
+		if rec.Key, err = storage.ReadString(br, 1<<20); err != nil {
 			return nil, err
 		}
-		if rec.val, err = storage.ReadValue(br); err != nil {
+		if rec.Val, err = storage.ReadValue(br); err != nil {
 			return nil, err
 		}
-	case recVersion:
+	case RecVersion:
 		// nothing further
 	default:
 		return nil, fmt.Errorf("wal: unknown record kind %d", kind)
@@ -223,14 +228,14 @@ func decodeRecord(payload []byte) (*record, error) {
 	return rec, nil
 }
 
-// apply replays the record's mutation onto g and restores the logged
+// Apply replays the record's mutation onto g and restores the logged
 // post-mutation version. The engine logged the record after the mutation
 // succeeded, so replay failures mean the log and snapshot disagree —
 // corruption, reported as an error.
-func (r *record) apply(g *graph.Graph) error {
-	switch r.kind {
-	case recUpdates:
-		for _, op := range r.ops {
+func (r *Record) Apply(g *graph.Graph) error {
+	switch r.Kind {
+	case RecUpdates:
+		for _, op := range r.Ops {
 			var err error
 			if op.Insert {
 				err = g.AddEdge(op.From, op.To)
@@ -241,19 +246,19 @@ func (r *record) apply(g *graph.Graph) error {
 				return fmt.Errorf("wal: replay edge op %d->%d: %w", op.From, op.To, err)
 			}
 		}
-	case recAddNode:
-		g.AddNode(r.label, r.attrs)
-	case recRemoveNode:
-		if err := g.RemoveNode(r.id); err != nil {
-			return fmt.Errorf("wal: replay remove node %d: %w", r.id, err)
+	case RecAddNode:
+		g.AddNode(r.Label, r.Attrs)
+	case RecRemoveNode:
+		if err := g.RemoveNode(r.ID); err != nil {
+			return fmt.Errorf("wal: replay remove node %d: %w", r.ID, err)
 		}
-	case recSetAttr:
-		if err := g.SetAttr(r.id, r.key, r.val); err != nil {
-			return fmt.Errorf("wal: replay set attr on node %d: %w", r.id, err)
+	case RecSetAttr:
+		if err := g.SetAttr(r.ID, r.Key, r.Val); err != nil {
+			return fmt.Errorf("wal: replay set attr on node %d: %w", r.ID, err)
 		}
-	case recVersion:
+	case RecVersion:
 		// version restore below is the whole mutation
 	}
-	g.RestoreVersion(r.post)
+	g.RestoreVersion(r.Post)
 	return nil
 }

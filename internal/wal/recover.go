@@ -108,6 +108,9 @@ func (m *Manager) Recover(name string) (*Recovered, error) {
 		gl.closeFile()
 		return nil, fmt.Errorf("wal: re-checkpoint %q: %w", name, err)
 	}
+	if obs := m.observer(); obs != nil {
+		obs.GraphCreated(name, rec.Graph)
+	}
 	return rec, nil
 }
 
@@ -239,16 +242,16 @@ func replaySegment(path string, g *graph.Graph, tolerateTorn bool) (replayed int
 			}
 			return replayed, false, fmt.Errorf("frame checksum mismatch after %d records", replayed)
 		}
-		rec, err := decodeRecord(payload)
+		rec, err := DecodeRecord(payload)
 		if err != nil {
 			// The CRC matched, so this is not a torn write: the writer and
 			// reader disagree about the format. Never silently drop it.
 			return replayed, false, err
 		}
-		if rec.post <= g.Version() {
+		if rec.Post <= g.Version() {
 			continue // already covered by the snapshot
 		}
-		if err := rec.apply(g); err != nil {
+		if err := rec.Apply(g); err != nil {
 			return replayed, false, err
 		}
 		replayed++
@@ -284,7 +287,7 @@ func tornOrCorrupt(data []byte, tearAt, replayed int) error {
 		if crc != crc32.ChecksumIEEE(payload) {
 			continue
 		}
-		if _, derr := decodeRecord(payload); derr == nil {
+		if _, derr := DecodeRecord(payload); derr == nil {
 			return fmt.Errorf("damaged frame after %d records is followed by a valid record at +%d bytes — mid-segment corruption, not a torn tail", replayed, off)
 		}
 	}

@@ -159,6 +159,24 @@ const (
 	indexMetaFile    = "index.json"
 )
 
+// Observer receives the manager's record stream as it lands on disk —
+// the hook the replication leader taps to ship the WAL over the wire.
+//
+// RecordAppended fires after a record is durably framed into the active
+// segment, while the graph's log lock is still held: per-graph delivery
+// order is exactly append order, with no gaps. The payload is the same
+// CRC-covered bytes the segment holds (callers must not retain or
+// mutate it past the call). GraphCreated fires after Create or Recover
+// publishes a graph's state; the graph is not yet visible to the engine
+// at that point, so reading it synchronously during the callback is
+// race-free. Callbacks must not call back into the Manager and must
+// return quickly — they run under log locks on the mutation path.
+type Observer interface {
+	GraphCreated(name string, g *graph.Graph)
+	GraphDropped(name string)
+	RecordAppended(name string, payload []byte, post uint64)
+}
+
 // Manager owns the write-ahead logs of every graph under one data
 // directory. Safe for concurrent use; appends to different graphs never
 // contend.
@@ -168,6 +186,9 @@ type Manager struct {
 	mu     sync.Mutex
 	graphs map[string]*graphLog
 	closed bool
+
+	obsMu sync.RWMutex
+	obs   Observer
 
 	stopc chan struct{}
 	wg    sync.WaitGroup
@@ -211,6 +232,22 @@ func Open(opts Options) (*Manager, error) {
 		go m.syncLoop()
 	}
 	return m, nil
+}
+
+// SetObserver installs (or, with nil, removes) the manager's observer.
+// Install it before mutations begin — records appended while no observer
+// is set are only on disk, not replayed to a late subscriber.
+func (m *Manager) SetObserver(obs Observer) {
+	m.obsMu.Lock()
+	m.obs = obs
+	m.obsMu.Unlock()
+}
+
+func (m *Manager) observer() Observer {
+	m.obsMu.RLock()
+	obs := m.obs
+	m.obsMu.RUnlock()
+	return obs
 }
 
 // Dir returns the data directory.
@@ -300,6 +337,9 @@ func (m *Manager) Create(name string, g *graph.Graph) error {
 	if err := syncDir(filepath.Join(m.opts.Dir, "graphs")); err != nil {
 		return fail(err)
 	}
+	if obs := m.observer(); obs != nil {
+		obs.GraphCreated(name, g)
+	}
 	return nil
 }
 
@@ -363,6 +403,9 @@ func (m *Manager) Drop(name string) error {
 			gl.closeFile()
 			gl.mu.Unlock()
 			detach()
+			if obs := m.observer(); obs != nil {
+				obs.GraphDropped(name)
+			}
 			return nil
 		}
 		if err := os.Rename(dir, staged); err != nil {
@@ -382,6 +425,9 @@ func (m *Manager) Drop(name string) error {
 	}
 	_ = syncDir(filepath.Join(m.opts.Dir, "graphs"))
 	_ = os.RemoveAll(staged)
+	if obs := m.observer(); obs != nil {
+		obs.GraphDropped(name)
+	}
 	return nil
 }
 
@@ -409,22 +455,33 @@ func (m *Manager) LogUpdatesCtx(ctx context.Context, name string, ops []Update, 
 	if len(ops) == 0 {
 		return nil
 	}
-	return m.appendCtx(ctx, name, &record{kind: recUpdates, post: postVersion, ops: ops})
+	return m.appendCtx(ctx, name, &Record{Kind: RecUpdates, Post: postVersion, Ops: ops})
 }
 
 // LogAddNode appends a node insertion.
 func (m *Manager) LogAddNode(name, label string, attrs graph.Attrs, postVersion uint64) error {
-	return m.append(name, &record{kind: recAddNode, post: postVersion, label: label, attrs: attrs})
+	return m.append(name, &Record{Kind: RecAddNode, Post: postVersion, Label: label, Attrs: attrs})
 }
 
 // LogRemoveNode appends a node removal (incident edges implied).
 func (m *Manager) LogRemoveNode(name string, id graph.NodeID, postVersion uint64) error {
-	return m.append(name, &record{kind: recRemoveNode, post: postVersion, id: id})
+	return m.append(name, &Record{Kind: RecRemoveNode, Post: postVersion, ID: id})
 }
 
 // LogSetAttr appends a single-attribute update.
 func (m *Manager) LogSetAttr(name string, id graph.NodeID, key string, v graph.Value, postVersion uint64) error {
-	return m.append(name, &record{kind: recSetAttr, post: postVersion, id: id, key: key, val: v})
+	return m.append(name, &Record{Kind: RecSetAttr, Post: postVersion, ID: id, Key: key, Val: v})
+}
+
+// LogRecord appends an already-decoded record verbatim — the follower's
+// re-logging path: a replica with its own data directory persists the
+// exact records the leader shipped, so its crash recovery replays the
+// same stream.
+func (m *Manager) LogRecord(name string, rec *Record) error {
+	if rec.Kind == RecUpdates && len(rec.Ops) == 0 {
+		return nil
+	}
+	return m.append(name, rec)
 }
 
 // LogVersion appends a pure version advance for writers whose content
@@ -442,24 +499,24 @@ func (m *Manager) LogVersion(name string, postVersion uint64) error {
 	if skip {
 		return nil
 	}
-	return m.append(name, &record{kind: recVersion, post: postVersion})
+	return m.append(name, &Record{Kind: RecVersion, Post: postVersion})
 }
 
-func (m *Manager) append(name string, rec *record) error {
+func (m *Manager) append(name string, rec *Record) error {
 	return m.appendCtx(context.Background(), name, rec)
 }
 
-func (m *Manager) appendCtx(ctx context.Context, name string, rec *record) error {
+func (m *Manager) appendCtx(ctx context.Context, name string, rec *Record) error {
 	gl, err := m.lookup(name)
 	if err != nil {
 		return err
 	}
 	var buf bytes.Buffer
-	if err := encodePayload(&buf, rec); err != nil {
+	if err := EncodeRecord(&buf, rec); err != nil {
 		return err
 	}
 	_, sp := trace.StartSpan(ctx, "wal.append")
-	err = gl.append(buf.Bytes(), rec.post)
+	err = gl.append(buf.Bytes(), rec.Post)
 	if sp != nil {
 		sp.SetInt("bytes", int64(buf.Len()))
 		sp.SetStr("fsync", m.opts.Fsync.String())
@@ -709,6 +766,12 @@ func (gl *graphLog) append(payload []byte, postVersion uint64) error {
 	gl.records++
 	gl.dirty = true
 	gl.m.appends.Add(1)
+	// Notify under gl.mu: per-graph observer delivery order is exactly
+	// the on-disk record order, which is what lets the replication leader
+	// forward this stream without re-reading segments.
+	if obs := gl.m.observer(); obs != nil {
+		obs.RecordAppended(gl.name, payload, postVersion)
+	}
 	if gl.m.opts.Fsync == FsyncAlways {
 		if err := gl.f.Sync(); err != nil {
 			gl.broken = true
