@@ -1,0 +1,258 @@
+package main
+
+// A10: graph-statistics maintenance overhead (ISSUE 9: observability).
+// The mutation-heavy companion to A2/A8: a scripted stream of node and
+// edge mutations (ApplyUpdates batches with two registered standing
+// queries, plus AddNode/RemoveNode/SetNodeAttr edits) with the A2 query
+// batch interleaved, executed twice on fresh engines — once with the
+// statistics subsystem live and once with DisableStats — so the online
+// histogram/selectivity maintenance is the only difference between the
+// arms. Statistics observe, never steer: every interleaved query answer
+// must be byte-identical, the incrementally-maintained counters must
+// equal a from-scratch recount at the end, and the mutation-throughput
+// overhead is enforced at <= 2%.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"expfinder/internal/dataset"
+	"expfinder/internal/engine"
+	"expfinder/internal/graph"
+	"expfinder/internal/incremental"
+	"expfinder/internal/pattern"
+	"expfinder/internal/stats"
+	"expfinder/internal/trace"
+)
+
+var a10Labels = []string{"SA", "SD", "BA", "PRG", "DBA"}
+
+// a10Edit is one scripted node-level mutation. Node ids are recorded at
+// script-build time; both arms replay the identical sequence on
+// identical clones, so allocation is deterministic and the ids agree.
+type a10Edit struct {
+	kind  int // 0 add node, 1 remove node, 2 set attr
+	label string
+	node  graph.NodeID
+	val   int64
+}
+
+// a10Round is one round of the workload: node edits, an edge-update
+// batch, and optionally the interleaved query batch.
+type a10Round struct {
+	edits []a10Edit
+	ops   []incremental.Update
+	query bool
+}
+
+// buildA10Script pre-computes a feasible mutation stream against a
+// scratch clone so both arms replay exactly the same operations.
+func buildA10Script(base *graph.Graph, seed int64, rounds, batch int) []a10Round {
+	scratch := base.Clone()
+	r := rand.New(rand.NewSource(seed + 41))
+	script := make([]a10Round, rounds)
+	for i := range script {
+		rd := &script[i]
+		switch r.Intn(4) {
+		case 0: // add a node
+			ed := a10Edit{kind: 0, label: a10Labels[r.Intn(len(a10Labels))], val: int64(r.Intn(15))}
+			scratch.AddNode(ed.label, graph.Attrs{"experience": graph.Int(ed.val)})
+			rd.edits = append(rd.edits, ed)
+		case 1: // remove a node (with its incident edges)
+			nodes := scratch.Nodes()
+			if len(nodes) > 2 {
+				ed := a10Edit{kind: 1, node: nodes[r.Intn(len(nodes))]}
+				if scratch.RemoveNode(ed.node) == nil {
+					rd.edits = append(rd.edits, ed)
+				}
+			}
+		case 2: // bump an attribute
+			nodes := scratch.Nodes()
+			ed := a10Edit{kind: 2, node: nodes[r.Intn(len(nodes))], val: int64(r.Intn(15))}
+			if scratch.SetAttr(ed.node, "experience", graph.Int(ed.val)) == nil {
+				rd.edits = append(rd.edits, ed)
+			}
+		}
+		rd.ops = randomOps(r, scratch, batch)
+		rd.query = i%4 == 3
+	}
+	return script
+}
+
+// runA10Arm replays the script on a fresh engine. Only the mutation
+// operations are timed — the overhead gate is on mutation throughput;
+// the interleaved query batches are collected for the identity gate
+// (and, on the stats arm, traced into the plan-outcome recorder the way
+// a served request would be). Returns the mutation wall time, the
+// canonical relation strings, and the engine for post-run inspection.
+func runA10Arm(base *graph.Graph, script []a10Round, standing []*pattern.Pattern,
+	reqs []engine.QueryRequest, disable bool, tracer *trace.Tracer) (time.Duration, []string, *engine.Engine) {
+	eng := engine.New(engine.Options{DisableStats: disable})
+	if err := eng.AddGraph("g", base.Clone()); err != nil {
+		panic(err)
+	}
+	for _, q := range standing {
+		if err := eng.RegisterQuery("g", q); err != nil {
+			panic(err)
+		}
+	}
+	var mut time.Duration
+	var rels []string
+	for _, rd := range script {
+		start := time.Now()
+		for _, ed := range rd.edits {
+			switch ed.kind {
+			case 0:
+				if _, err := eng.AddNode("g", ed.label, graph.Attrs{"experience": graph.Int(ed.val)}); err != nil {
+					panic(err)
+				}
+			case 1:
+				if err := eng.RemoveNode("g", ed.node); err != nil {
+					panic(err)
+				}
+			case 2:
+				if err := eng.SetNodeAttr("g", ed.node, "experience", graph.Int(ed.val)); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if _, err := eng.ApplyUpdates("g", rd.ops); err != nil {
+			panic(err)
+		}
+		mut += time.Since(start)
+		if !rd.query {
+			continue
+		}
+		ctx := context.Background()
+		var tr *trace.Trace
+		if tracer != nil {
+			ctx, tr = tracer.Start(ctx, "a10", "bench", false)
+		}
+		for _, oc := range eng.QueryBatch(ctx, reqs) {
+			if oc.Err != nil {
+				panic(oc.Err)
+			}
+			rels = append(rels, oc.Result.Relation.String())
+		}
+		if tracer != nil {
+			tracer.Finish(tr)
+		}
+	}
+	return mut, rels, eng
+}
+
+// runA10 gates the statistics subsystem's mutation-path tax.
+func runA10(full bool, seed int64) {
+	fmt.Println("=== A10: graph-statistics maintenance overhead on the mutation path ===")
+	n, rounds, batch := 3000, 32, 30
+	if full {
+		n, rounds, batch = 39000, 48, 150 // ~100k collaboration edges, the ISSUE 1 baseline
+	}
+	base := collab(n, seed)
+	script := buildA10Script(base, seed, rounds, batch)
+	standing := dataset.BenchQueries(2)
+	const nQueries = 8
+	reqs := make([]engine.QueryRequest, nQueries)
+	for i, q := range dataset.BenchQueries(nQueries) {
+		reqs[i] = engine.QueryRequest{Graph: "g", Pattern: q, K: 5}
+	}
+	fmt.Printf("collab graph n=%d (%d edges), %d rounds x %d edge updates + node edits, 2 standing queries, %d-query batch every 4th round, best of 5 runs per arm\n",
+		base.NumNodes(), base.NumEdges(), rounds, batch, nQueries)
+
+	// The stats arm is also the telemetry arm: a sample-everything tracer
+	// feeds the plan-outcome recorder exactly as the server wires it.
+	tracer := trace.New(trace.Options{Sample: 1})
+	rec := stats.NewRecorder(0)
+	tracer.OnFinish(rec.Observe)
+
+	const reps = 5
+	dOff := time.Duration(1<<62 - 1)
+	dOn := dOff
+	var relsOff, relsOn []string
+	var engOn *engine.Engine
+	// Interleave the arms so thermal drift and GC phase hit both evenly.
+	for r := 0; r < reps; r++ {
+		d, rels, _ := runA10Arm(base, script, standing, reqs, true, nil)
+		if d < dOff {
+			dOff = d
+		}
+		relsOff = rels
+		d, rels, eng := runA10Arm(base, script, standing, reqs, false, tracer)
+		if d < dOn {
+			dOn = d
+		}
+		relsOn, engOn = rels, eng
+	}
+
+	// Correctness gate: statistics observe, never steer — every
+	// interleaved query answer byte-identical between the arms.
+	if len(relsOff) != len(relsOn) {
+		panic("a10: query count diverged between arms")
+	}
+	for i := range relsOff {
+		if relsOff[i] != relsOn[i] {
+			panic(fmt.Sprintf("a10: query %d relation diverged with stats enabled", i))
+		}
+	}
+
+	// Accuracy gate: the incrementally-maintained counters equal a
+	// from-scratch recount of the final graph, with no recount paid
+	// along the way (the construction-time build is the only one).
+	snap, err := engOn.GraphStatistics("g")
+	if err != nil {
+		panic(err)
+	}
+	var want *stats.Snapshot
+	if err := engOn.WithGraph("g", func(g *graph.Graph) error {
+		want = stats.Compute(g)
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+	if !snap.Equal(want) {
+		panic("a10: incremental statistics diverged from recount")
+	}
+	rebuilds, err := engOn.StatsRebuilds("g")
+	if err != nil {
+		panic(err)
+	}
+
+	totalOps := 0
+	for _, rd := range script {
+		totalOps += len(rd.ops) + len(rd.edits)
+	}
+	overhead := (float64(dOn)/float64(dOff) - 1) * 100
+	fmt.Printf("%12s %15s %12s\n", "arm", "mutation time", "ops/s")
+	fmt.Printf("%12s %15s %12.0f\n", "stats-off", dOff, float64(totalOps)/dOff.Seconds())
+	fmt.Printf("%12s %15s %12.0f\n", "stats-on", dOn, float64(totalOps)/dOn.Seconds())
+	fmt.Printf("maintenance overhead: %+.2f%% (enforced <= 2%%)\n", overhead)
+	if overhead > 2 {
+		panic(fmt.Sprintf("a10: stats maintenance overhead %.2f%% exceeds the 2%% gate", overhead))
+	}
+	fmt.Println("query relations byte-identical between arms; histograms == recount (enforced)")
+
+	sums := rec.Summaries()
+	var outcomes int64
+	for _, s := range sums {
+		outcomes += s.Count
+	}
+	fmt.Printf("plan-outcome telemetry: %d outcomes across %d (graph, plan, shape) buckets, %d dropped\n",
+		outcomes, len(sums), rec.Dropped())
+	for _, s := range sums {
+		fmt.Printf("%12s %14s count=%-5d matches=%-7d cache=%d/%d p50=%s p95=%s\n",
+			s.Plan, s.Shape, s.Count, s.Matches, s.CacheHits, s.CacheHits+s.CacheMisses,
+			time.Duration(s.P50US)*time.Microsecond, time.Duration(s.P95US)*time.Microsecond)
+	}
+
+	art := newArtifact("a10", full, seed)
+	art.addDuration("mutations_stats_off", dOff)
+	art.addDuration("mutations_stats_on", dOn)
+	art.add("overhead_pct", overhead, "%")
+	art.add("hist_accuracy", 1, "match") // enforced above: 1 or panic
+	art.add("stats_rebuilds", float64(rebuilds), "count")
+	art.add("plan_outcome_buckets", float64(len(sums)), "buckets")
+	art.add("plan_outcomes", float64(outcomes), "queries")
+	art.write()
+}

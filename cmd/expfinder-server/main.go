@@ -53,7 +53,7 @@
 //	POST   /api/v1/graphs/{name}               upload {"graph": ...} or {"generator": {...}}
 //	GET    /api/v1/graphs/{name}               download graph JSON
 //	DELETE /api/v1/graphs/{name}               remove graph
-//	GET    /api/v1/graphs/{name}/stats         statistics
+//	GET    /api/v1/graphs/{name}/stats         statistics (degree histograms, label selectivity, index/partition state)
 //	GET    /api/v1/graphs/{name}/dot           Graphviz export (?drilldown=1)
 //	POST   /api/v1/graphs/{name}/query         {"dsl": "...", "k": 5, "semantics": "bounded|dual"} (?dot=1)
 //	POST   /api/v1/graphs/{name}/register      register query for incremental maintenance
@@ -76,6 +76,7 @@
 //	GET    /api/v1/graphs/{name}/subscriptions/{id}/events  SSE stream of snapshot + match deltas
 //	GET    /api/v1/subscriptions/stats         subscription-hub counters
 //	GET    /api/v1/cache/stats                 result-cache counters (byte-budgeted LRU)
+//	GET    /api/v1/stats/queries               plan-outcome telemetry (per graph/plan/shape, p50/p95)
 //	GET    /api/v1/admin/persistence           durability stats (WAL sizes, snapshots)
 //	POST   /api/v1/admin/persistence/checkpoint  force a checkpoint ({"graph": ...} or all)
 //	POST   /api/v1/admin/promote               follower failover: detach and accept writes

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 
 	"expfinder/internal/graph"
+	"expfinder/internal/stats"
 	"expfinder/internal/trace"
 )
 
@@ -127,6 +128,22 @@ type BatchResponse struct {
 // GET /debug/traces, newest first.
 type DebugTracesResponse struct {
 	Traces []*trace.TraceJSON `json:"traces"`
+}
+
+// BuildInfo identifies the running binary; exposed as the
+// expfinder_build_info gauge labels and echoed in /healthz.
+type BuildInfo struct {
+	Version    string `json:"version"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// QueryStatsResponse is the plan-outcome telemetry served by
+// GET /stats/queries: rolling per-(graph, plan, shape) summaries,
+// busiest first, plus how many outcomes the bounded recorder dropped.
+type QueryStatsResponse struct {
+	Summaries []stats.Summary `json:"summaries"`
+	Dropped   uint64          `json:"dropped"`
 }
 
 // DebugSlowResponse is the slow-query log served by GET /debug/slow,

@@ -48,6 +48,7 @@ import (
 	"expfinder/internal/pattern"
 	"expfinder/internal/rank"
 	"expfinder/internal/simulation"
+	"expfinder/internal/stats"
 	"expfinder/internal/storage"
 	"expfinder/internal/subscribe"
 	"expfinder/internal/trace"
@@ -121,6 +122,11 @@ type Options struct {
 	// before registering graphs whose state should come back. See
 	// internal/wal and docs/ARCHITECTURE.md ("Durability").
 	Persistence *wal.Manager
+	// DisableStats turns off online graph statistics (degree/label
+	// histograms; see internal/stats). On by default — maintenance is
+	// O(1) per mutated edge — this switch exists for the a10 bench
+	// baseline arm and as an escape hatch.
+	DisableStats bool
 }
 
 // Engine manages graphs and evaluates queries. Safe for concurrent use.
@@ -189,6 +195,7 @@ type managed struct {
 	comp     *compress.Compressed            // optional
 	idx      *distindex.Index                // optional landmark distance index
 	part     *partition.Partitioning         // optional edge-cut partitioning
+	st       *stats.Graph                    // optional online graph statistics
 	matchers map[string]*incremental.Matcher // pattern hash -> matcher
 	queries  map[string]*pattern.Pattern     // pattern hash -> registered pattern
 
@@ -353,17 +360,31 @@ func (e *Engine) addGraph(name string, g *graph.Graph) error {
 // AddGraph, also used by Recover, whose graphs are already attached to
 // the log manager).
 func (e *Engine) register(name string, g *graph.Graph) error {
+	return e.registerWith(name, g, nil)
+}
+
+// registerWith is register with pre-built statistics — the recovery
+// path restores them from a persisted snapshot instead of paying the
+// full recount. A nil st builds fresh (unless stats are disabled).
+func (e *Engine) registerWith(name string, g *graph.Graph, st *stats.Graph) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, ok := e.gs[name]; ok {
 		return fmt.Errorf("%w: %q", ErrGraphExists, name)
 	}
-	e.gs[name] = &managed{
+	mg := &managed{
 		epoch:    e.epochs.Add(1),
 		g:        g,
 		matchers: map[string]*incremental.Matcher{},
 		queries:  map[string]*pattern.Pattern{},
 	}
+	if !e.opts.DisableStats {
+		if st == nil {
+			st = stats.NewGraph(g)
+		}
+		mg.st = st
+	}
+	e.gs[name] = mg
 	return nil
 }
 
@@ -518,6 +539,7 @@ func (e *Engine) queryLocked(ctx context.Context, graphName string, mg *managed,
 		sp.SetStr("graph", graphName)
 		sp.SetStr("plan", string(plan))
 		sp.SetStr("source", string(source))
+		sp.SetStr("shape", patternShape(q))
 		sp.SetInt("matches", int64(rel.Size()))
 		sp.SetInt("k", int64(k))
 		sp.End()
@@ -811,6 +833,9 @@ func (e *Engine) applyUpdates(ctx context.Context, graphName string, ops []incre
 			if mg.part != nil {
 				mg.part.RefreshVersion()
 			}
+			// And for the statistics: every histogram still counts the
+			// restored content exactly.
+			mg.st.RefreshVersion(mg.g)
 			// Log the apply+rollback sequence as one record (best-effort —
 			// the apply error is the one the caller must see). The content
 			// is unchanged, but the rollback re-added edges by APPEND, so
@@ -880,6 +905,13 @@ func (e *Engine) applyUpdates(ctx context.Context, graphName string, ops []incre
 		}
 		mg.part.Sync(pops)
 	}
+	if mg.st != nil {
+		sops := make([]stats.Update, len(ops))
+		for i, op := range ops {
+			sops[i] = stats.Update{Insert: op.Insert, From: op.From, To: op.To}
+		}
+		mg.st.Sync(mg.g, sops)
+	}
 	// Fan out to live subscriptions last, so their deltas reflect the
 	// same post-update graph every other consumer settled on (dirty
 	// standing queries recompute here — the lazy invalidation path).
@@ -927,6 +959,7 @@ func (e *Engine) AddNode(graphName, label string, attrs graph.Attrs) (graph.Node
 	if mg.part != nil {
 		mg.part.SyncNodeAdded(id)
 	}
+	mg.st.SyncNodeAdded(mg.g, id)
 	e.hub.HandleNodeAdded(graphName, mg.g, id)
 	if err := logNode(); err != nil {
 		return id, fmt.Errorf("engine: log add node: %w", err)
@@ -1018,6 +1051,15 @@ func (e *Engine) RemoveNode(graphName string, id graph.NodeID) error {
 		}
 		mg.part.Sync(pops)
 	}
+	if mg.st != nil {
+		// The detach ops walk the node down to degree zero in the
+		// histograms; SyncNodeRemoved below drops the isolated node.
+		sops := make([]stats.Update, len(ops))
+		for i, op := range ops {
+			sops[i] = stats.Update{Insert: op.Insert, From: op.From, To: op.To}
+		}
+		mg.st.Sync(mg.g, sops)
+	}
 	// Phase 2: the node is isolated; clear it everywhere and drop it.
 	for _, m := range mg.matchers {
 		m.SyncNodeRemoving(id)
@@ -1042,6 +1084,7 @@ func (e *Engine) RemoveNode(graphName string, id graph.NodeID) error {
 	if mg.part != nil {
 		mg.part.SyncNodeRemoved(id)
 	}
+	mg.st.SyncNodeRemoved(mg.g, id)
 	// One record covers the whole removal (incident-edge detach included):
 	// replay re-removes the node wholesale and restores this version.
 	if pers := e.opts.Persistence; pers != nil {
@@ -1096,6 +1139,8 @@ func (e *Engine) SetNodeAttr(graphName string, id graph.NodeID, key string, v gr
 		// Attributes do not affect ownership either.
 		mg.part.SyncAttrChanged(id)
 	}
+	// Attributes move no histogram; the stats just follow the version.
+	mg.st.SyncAttrChanged(mg.g)
 	// Standing queries take the lazy-recompute path (see RemoveNode).
 	e.hub.Invalidate(graphName)
 	if err := logAttr(); err != nil {

@@ -14,11 +14,13 @@ package engine
 // a fresh snapshot event via the existing overflow→snapshot resync path.
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"time"
 
 	"expfinder/internal/distindex"
+	"expfinder/internal/stats"
 	"expfinder/internal/wal"
 )
 
@@ -45,6 +47,10 @@ type GraphRecovery struct {
 	// index could not be rebuilt: the graph IS serving, only the
 	// accelerator is missing (queries fall back to the direct plan).
 	IndexErr string `json:"index_error,omitempty"`
+	// StatsRestored reports that a persisted statistics snapshot matched
+	// the recovered graph and was installed without a full recount; false
+	// means the statistics were rebuilt from scratch (or are disabled).
+	StatsRestored bool `json:"stats_restored,omitempty"`
 	// Err is set when this graph could not be recovered (its files are
 	// left untouched for inspection); other graphs still recover.
 	Err string `json:"error,omitempty"`
@@ -89,11 +95,22 @@ func (e *Engine) Recover() (*RecoverySummary, error) {
 			sum.Graphs = append(sum.Graphs, gr)
 			continue
 		}
-		if err := e.register(name, rec.Graph); err != nil {
+		// A persisted statistics snapshot that still matches the recovered
+		// graph (same version, nodes, edges, consistent counts) skips the
+		// registration recount; anything off falls back to a full rebuild.
+		var st *stats.Graph
+		if !e.opts.DisableStats && rec.Stats != nil {
+			var snap stats.Snapshot
+			if json.Unmarshal(rec.Stats, &snap) == nil {
+				st = stats.Restore(rec.Graph, &snap)
+			}
+		}
+		if err := e.registerWith(name, rec.Graph, st); err != nil {
 			gr.Err = err.Error()
 			sum.Graphs = append(sum.Graphs, gr)
 			continue
 		}
+		gr.StatsRestored = st != nil
 		gr.Nodes = rec.Graph.NumNodes()
 		gr.Edges = rec.Graph.NumEdges()
 		gr.Version = rec.Graph.Version()
@@ -130,7 +147,23 @@ func (e *Engine) Checkpoint(graphName string) error {
 	}
 	mg.mu.RLock()
 	defer mg.mu.RUnlock()
-	return pers.Checkpoint(graphName, mg.g)
+	if err := pers.Checkpoint(graphName, mg.g); err != nil {
+		return err
+	}
+	// Persist the statistics beside the snapshot so a restart restores
+	// them instead of recounting. The snapshot call rebuilds first if
+	// stale, so what lands on disk always describes the checkpointed
+	// version exactly.
+	if mg.st != nil {
+		data, err := json.Marshal(mg.st.Snapshot(mg.g))
+		if err != nil {
+			return fmt.Errorf("engine: marshal stats snapshot: %w", err)
+		}
+		if err := pers.SetStatsSnapshot(graphName, data); err != nil {
+			return fmt.Errorf("engine: persist stats snapshot: %w", err)
+		}
+	}
+	return nil
 }
 
 // CheckpointAll checkpoints every managed graph, returning the first

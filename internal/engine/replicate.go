@@ -22,6 +22,7 @@ import (
 	"expfinder/internal/graph"
 	"expfinder/internal/incremental"
 	"expfinder/internal/partition"
+	"expfinder/internal/stats"
 	"expfinder/internal/wal"
 )
 
@@ -183,6 +184,9 @@ func (e *Engine) ApplyReplicatedRecord(name string, rec *wal.Record) error {
 	if mg.part != nil {
 		mg.part.RefreshVersion()
 	}
+	// The stats synced with the pre-restore version too; re-stamp at the
+	// leader's, or every follower stats read would pay a full recount.
+	mg.st.RefreshVersion(mg.g)
 	// Re-log to local persistence so a follower crash recovers to the
 	// applied offset without re-fetching from the leader.
 	if pers := e.opts.Persistence; pers != nil {
@@ -241,6 +245,13 @@ func (e *Engine) applyRecordLocked(name string, mg *managed, rec *wal.Record) er
 			}
 			mg.part.Sync(pops)
 		}
+		if mg.st != nil {
+			sops := make([]stats.Update, len(ops))
+			for i, op := range ops {
+				sops[i] = stats.Update{Insert: op.Insert, From: op.From, To: op.To}
+			}
+			mg.st.Sync(mg.g, sops)
+		}
 		e.hub.HandleUpdates(name, mg.g, ops)
 	case wal.RecAddNode:
 		id := mg.g.AddNode(rec.Label, rec.Attrs)
@@ -258,6 +269,7 @@ func (e *Engine) applyRecordLocked(name string, mg *managed, rec *wal.Record) er
 		if mg.part != nil {
 			mg.part.SyncNodeAdded(id)
 		}
+		mg.st.SyncNodeAdded(mg.g, id)
 		e.hub.HandleNodeAdded(name, mg.g, id)
 	case wal.RecRemoveNode:
 		if !mg.g.Has(rec.ID) {
@@ -304,6 +316,13 @@ func (e *Engine) applyRecordLocked(name string, mg *managed, rec *wal.Record) er
 			}
 			mg.part.Sync(pops)
 		}
+		if mg.st != nil {
+			sops := make([]stats.Update, len(ops))
+			for i, op := range ops {
+				sops[i] = stats.Update{Insert: op.Insert, From: op.From, To: op.To}
+			}
+			mg.st.Sync(mg.g, sops)
+		}
 		for _, m := range mg.matchers {
 			m.SyncNodeRemoving(rec.ID)
 		}
@@ -318,6 +337,7 @@ func (e *Engine) applyRecordLocked(name string, mg *managed, rec *wal.Record) er
 		if mg.part != nil {
 			mg.part.SyncNodeRemoved(rec.ID)
 		}
+		mg.st.SyncNodeRemoved(mg.g, rec.ID)
 	case wal.RecSetAttr:
 		if err := mg.g.SetAttr(rec.ID, rec.Key, rec.Val); err != nil {
 			return fmt.Errorf("engine: replicate set attr on node %d: %w", rec.ID, err)
@@ -338,6 +358,7 @@ func (e *Engine) applyRecordLocked(name string, mg *managed, rec *wal.Record) er
 		if mg.part != nil {
 			mg.part.SyncAttrChanged(rec.ID)
 		}
+		mg.st.SyncAttrChanged(mg.g)
 		e.hub.Invalidate(name)
 	case wal.RecVersion:
 		// Version restore below is the whole mutation.

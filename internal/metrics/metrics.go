@@ -360,3 +360,52 @@ func (c *CounterFunc) write(w io.Writer) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", c.fname, c.help, c.fname)
 	fmt.Fprintf(w, "%s %g\n", c.fname, c.fn())
 }
+
+// LabeledValue is one series sampled by a VecFunc callback: the label
+// values (matching the family's schema) and the value.
+type LabeledValue struct {
+	Labels []string
+	Value  float64
+}
+
+// vecFunc is a function-backed family whose callback returns the full
+// current series set at scrape time — for label sets that come and go
+// with external state (per-graph statistics, build info) where push-
+// style registration would leak dead series.
+type vecFunc struct {
+	fname  string
+	help   string
+	mtype  string // "gauge" or "counter"
+	labels []string
+	fn     func() []LabeledValue
+}
+
+// NewGaugeVecFunc registers a sampled labeled gauge family. fn is
+// called at scrape time and must return one entry per live series,
+// each with exactly len(labels) label values; order is normalized at
+// render.
+func (r *Registry) NewGaugeVecFunc(name, help string, labels []string, fn func() []LabeledValue) {
+	r.register(&vecFunc{fname: name, help: help, mtype: "gauge", labels: labels, fn: fn})
+}
+
+// NewCounterVecFunc registers a sampled labeled counter family. Each
+// series' value must be monotone non-decreasing across scrapes.
+func (r *Registry) NewCounterVecFunc(name, help string, labels []string, fn func() []LabeledValue) {
+	r.register(&vecFunc{fname: name, help: help, mtype: "counter", labels: labels, fn: fn})
+}
+
+func (v *vecFunc) name() string { return v.fname }
+
+func (v *vecFunc) write(w io.Writer) {
+	rows := v.fn()
+	sort.Slice(rows, func(i, j int) bool {
+		return labelKey(rows[i].Labels) < labelKey(rows[j].Labels)
+	})
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", v.fname, v.help, v.fname, v.mtype)
+	for _, row := range rows {
+		if len(row.Labels) != len(v.labels) {
+			panic(fmt.Sprintf("metrics: vec func %s wants %d labels, got %d", v.fname, len(v.labels), len(row.Labels)))
+		}
+		fmt.Fprintf(w, "%s%s %g\n", v.fname, renderLabels(v.labels, row.Labels), row.Value)
+	}
+}

@@ -9,6 +9,7 @@ package server
 import (
 	"net/http"
 
+	"expfinder/internal/api"
 	"expfinder/internal/engine"
 )
 
@@ -25,6 +26,9 @@ type healthBody struct {
 	// to completion before serving started.
 	Ready  bool `json:"ready"`
 	Graphs int  `json:"graphs"`
+	// Build identifies the running binary — the same fields the
+	// expfinder_build_info gauge exposes as labels.
+	Build api.BuildInfo `json:"build"`
 	// Persistence reports whether a write-ahead log is attached.
 	Persistence bool `json:"persistence"`
 	// RecoveryComplete is true when persistence is off (nothing to
@@ -55,6 +59,7 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 		Status:      "ok",
 		Ready:       true,
 		Graphs:      len(s.eng.ListGraphs()),
+		Build:       buildInfo(),
 		Persistence: s.eng.PersistenceEnabled(),
 	}
 	body.RecoveryComplete = !body.Persistence || s.recovery != nil

@@ -54,6 +54,7 @@ func (s *Server) routes() []route {
 		{"GET", "/graphs/{name}/subscriptions/{id}/events", "stream_events", false, s.streamEvents},
 		{"GET", "/subscriptions/stats", "subscription_stats", true, s.subscriptionStats},
 		{"GET", "/cache/stats", "cache_stats", true, s.cacheStats},
+		{"GET", "/stats/queries", "query_stats", true, s.statsQueries},
 		{"GET", "/admin/persistence", "persistence_stats", true, s.persistenceStats},
 		{"POST", "/admin/persistence/checkpoint", "force_checkpoint", true, s.forceCheckpoint},
 		// Promote must work while a degraded follower sheds load — that is

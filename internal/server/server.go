@@ -31,6 +31,7 @@ import (
 	"expfinder/internal/engine"
 	"expfinder/internal/metrics"
 	"expfinder/internal/replication"
+	"expfinder/internal/stats"
 	"expfinder/internal/trace"
 )
 
@@ -90,6 +91,7 @@ type Server struct {
 	limiter  *rateLimiter
 	admit    *admission
 	tracer   *trace.Tracer
+	recorder *stats.Recorder
 
 	mReqs        *metrics.Counter
 	mLatency     *metrics.Histogram
@@ -199,6 +201,13 @@ func New(eng *engine.Engine, cfg ...Config) *Server {
 		"Traced query-stage latency in seconds, by plan and stage.", nil,
 		"plan", "stage")
 	s.tracer.OnFinish(s.aggregateTrace)
+
+	// The same finished traces feed the plan-outcome recorder — the
+	// rolling per-(graph, plan, shape) summaries behind /stats/queries
+	// and the expfinder_plan_outcome_* series.
+	s.recorder = stats.NewRecorder(0)
+	s.tracer.OnFinish(s.recorder.Observe)
+	s.registerStatsMetrics()
 
 	mux := http.NewServeMux()
 	rts := s.routes()

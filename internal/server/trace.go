@@ -51,7 +51,7 @@ func (s *Server) withTrace(route string, next http.Handler) http.Handler {
 		if sw, ok := w.(*statusWriter); ok && sw.status != 0 {
 			status = sw.status
 		}
-		s.tracer.NoteSlow(w.Header().Get("X-Request-ID"), route, status, elapsed, tj)
+		s.tracer.NoteSlow(w.Header().Get("X-Request-ID"), route, clientKey(r), status, elapsed, tj)
 	})
 }
 

@@ -1,0 +1,304 @@
+package stats
+
+// Plan-outcome telemetry: a bounded recorder fed from finished query
+// traces (trace.Tracer.OnFinish). Every engine.query span becomes one
+// outcome, keyed by (graph, plan, pattern shape); outcomes aggregate
+// into rolling summaries — counts, cache hit/miss, distindex
+// proved/refuted, partition removals, and a bounded duration sample
+// ring rendered as p50/p95. This is the "last-run stats" half of the
+// planner's evidence: where the graph statistics describe the data,
+// the recorder describes how each plan actually performed on it.
+
+import (
+	"sort"
+	"sync"
+
+	"expfinder/internal/trace"
+)
+
+// OutcomeKey identifies one aggregation bucket.
+type OutcomeKey struct {
+	Graph string `json:"graph"`
+	Plan  string `json:"plan"`
+	// Shape is the pattern's shape signature (the engine.query span's
+	// "shape" attribute): node count, edge count, max bound.
+	Shape string `json:"shape"`
+}
+
+// sampleRing bounds per-key duration retention: percentiles reflect
+// the most recent window, not all history.
+const sampleRing = 512
+
+// defaultMaxKeys bounds distinct (graph, plan, shape) buckets; beyond
+// it new keys are counted as dropped rather than grown — the recorder
+// must stay O(1) per query regardless of workload cardinality.
+const defaultMaxKeys = 256
+
+// outcomeAgg is one key's rolling aggregate.
+type outcomeAgg struct {
+	count       int64
+	matches     int64 // summed relation sizes (candidate counts)
+	cacheHits   int64
+	cacheMisses int64
+	probes      int64 // distindex oracle probes
+	proved      int64
+	refuted     int64
+	fallbacks   int64
+	removals    int64 // partitioned-plan refinement removals
+	supersteps  int64
+	durUS       [sampleRing]int64
+	durN        int // samples stored (min(count, sampleRing))
+	durNext     int // ring cursor
+	totalDurUS  int64
+}
+
+// Recorder aggregates plan outcomes. Safe for concurrent use; a nil
+// *Recorder ignores every call.
+type Recorder struct {
+	mu      sync.Mutex
+	maxKeys int
+	byKey   map[OutcomeKey]*outcomeAgg
+	dropped uint64
+}
+
+// NewRecorder returns a recorder bounded at maxKeys distinct
+// (graph, plan, shape) buckets (<= 0 means the default 256).
+func NewRecorder(maxKeys int) *Recorder {
+	if maxKeys <= 0 {
+		maxKeys = defaultMaxKeys
+	}
+	return &Recorder{maxKeys: maxKeys, byKey: map[OutcomeKey]*outcomeAgg{}}
+}
+
+// attrInt reads an integer span attribute. In-process attributes are
+// int64; attributes that round-tripped through JSON are float64.
+func attrInt(attrs map[string]any, key string) int64 {
+	switch v := attrs[key].(type) {
+	case int64:
+		return v
+	case float64:
+		return int64(v)
+	case int:
+		return int64(v)
+	}
+	return 0
+}
+
+func attrStr(attrs map[string]any, key string) string {
+	s, _ := attrs[key].(string)
+	return s
+}
+
+func attrBool(attrs map[string]any, key string) bool {
+	b, _ := attrs[key].(bool)
+	return b
+}
+
+// Observe folds one finished trace into the aggregates. A batch trace
+// carries several engine.query spans; each becomes its own outcome.
+// Intended as a trace.Tracer OnFinish hook.
+func (r *Recorder) Observe(tj *trace.TraceJSON) {
+	if r == nil || tj == nil {
+		return
+	}
+	tj.Walk(func(sp *trace.SpanJSON) {
+		if sp.Name != "engine.query" || sp.Attrs == nil {
+			return
+		}
+		r.observeQuery(sp)
+	})
+}
+
+// observeQuery folds one engine.query span.
+func (r *Recorder) observeQuery(sp *trace.SpanJSON) {
+	key := OutcomeKey{
+		Graph: attrStr(sp.Attrs, "graph"),
+		Plan:  attrStr(sp.Attrs, "plan"),
+		Shape: attrStr(sp.Attrs, "shape"),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	agg, ok := r.byKey[key]
+	if !ok {
+		if len(r.byKey) >= r.maxKeys {
+			r.dropped++
+			return
+		}
+		agg = &outcomeAgg{}
+		r.byKey[key] = agg
+	}
+	agg.count++
+	agg.matches += attrInt(sp.Attrs, "matches")
+	agg.totalDurUS += sp.DurationUS
+	agg.durUS[agg.durNext] = sp.DurationUS
+	agg.durNext = (agg.durNext + 1) % sampleRing
+	if agg.durN < sampleRing {
+		agg.durN++
+	}
+	// Stage children: cache lookup and the per-plan evaluation spans
+	// carry the counters their subsystems already keep.
+	for _, c := range sp.Children {
+		switch c.Name {
+		case "cache.lookup":
+			if attrBool(c.Attrs, "hit") {
+				agg.cacheHits++
+			} else {
+				agg.cacheMisses++
+			}
+		case "eval.indexed":
+			agg.probes += attrInt(c.Attrs, "probes")
+			agg.proved += attrInt(c.Attrs, "proved")
+			agg.refuted += attrInt(c.Attrs, "refuted")
+			agg.fallbacks += attrInt(c.Attrs, "fallbacks")
+		case "eval.partitioned":
+			agg.removals += attrInt(c.Attrs, "removals")
+			agg.supersteps += attrInt(c.Attrs, "supersteps")
+		}
+	}
+}
+
+// Summary is one (graph, plan, shape) bucket's rolling aggregate.
+type Summary struct {
+	OutcomeKey
+	Count       int64 `json:"count"`
+	Matches     int64 `json:"matches"`
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	// Index oracle counters (indexed plan only).
+	Probes    int64 `json:"probes,omitempty"`
+	Proved    int64 `json:"proved,omitempty"`
+	Refuted   int64 `json:"refuted,omitempty"`
+	Fallbacks int64 `json:"fallbacks,omitempty"`
+	// BSP counters (partitioned plan only).
+	Removals   int64 `json:"removals,omitempty"`
+	Supersteps int64 `json:"supersteps,omitempty"`
+	// Duration summary over the retained sample window.
+	MeanUS int64 `json:"mean_us"`
+	P50US  int64 `json:"p50_us"`
+	P95US  int64 `json:"p95_us"`
+	// Samples is the window size the percentiles describe.
+	Samples int `json:"samples"`
+}
+
+// percentile returns the q-quantile (0..1) of sorted by
+// nearest-rank; sorted must be non-empty.
+func percentile(sorted []int64, q float64) int64 {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func (a *outcomeAgg) summarize(key OutcomeKey) Summary {
+	s := Summary{
+		OutcomeKey:  key,
+		Count:       a.count,
+		Matches:     a.matches,
+		CacheHits:   a.cacheHits,
+		CacheMisses: a.cacheMisses,
+		Probes:      a.probes,
+		Proved:      a.proved,
+		Refuted:     a.refuted,
+		Fallbacks:   a.fallbacks,
+		Removals:    a.removals,
+		Supersteps:  a.supersteps,
+		Samples:     a.durN,
+	}
+	if a.count > 0 {
+		s.MeanUS = a.totalDurUS / a.count
+	}
+	if a.durN > 0 {
+		window := append([]int64(nil), a.durUS[:a.durN]...)
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		s.P50US = percentile(window, 0.50)
+		s.P95US = percentile(window, 0.95)
+	}
+	return s
+}
+
+// Summaries renders every bucket, busiest first (then by key for
+// determinism at equal counts).
+func (r *Recorder) Summaries() []Summary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Summary, 0, len(r.byKey))
+	for key, agg := range r.byKey {
+		out = append(out, agg.summarize(key))
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		a, b := out[i].OutcomeKey, out[j].OutcomeKey
+		if a.Graph != b.Graph {
+			return a.Graph < b.Graph
+		}
+		if a.Plan != b.Plan {
+			return a.Plan < b.Plan
+		}
+		return a.Shape < b.Shape
+	})
+	return out
+}
+
+// Dropped reports outcomes discarded because the key bound was hit.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// PlanTotal aggregates a graph+plan pair across shapes — the metrics
+// registry's granularity (per-shape series would be unbounded label
+// cardinality).
+type PlanTotal struct {
+	Graph string
+	Plan  string
+	Count int64
+	P95US int64
+}
+
+// PlanTotals merges buckets by (graph, plan), sorted by key. The p95
+// merges the retained sample windows of every shape in the pair.
+func (r *Recorder) PlanTotals() []PlanTotal {
+	if r == nil {
+		return nil
+	}
+	type pair struct{ graph, plan string }
+	r.mu.Lock()
+	counts := map[pair]int64{}
+	windows := map[pair][]int64{}
+	for key, agg := range r.byKey {
+		p := pair{key.Graph, key.Plan}
+		counts[p] += agg.count
+		windows[p] = append(windows[p], agg.durUS[:agg.durN]...)
+	}
+	r.mu.Unlock()
+	out := make([]PlanTotal, 0, len(counts))
+	for p, c := range counts {
+		w := windows[p]
+		sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+		t := PlanTotal{Graph: p.graph, Plan: p.plan, Count: c}
+		if len(w) > 0 {
+			t.P95US = percentile(w, 0.95)
+		}
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Graph != out[j].Graph {
+			return out[i].Graph < out[j].Graph
+		}
+		return out[i].Plan < out[j].Plan
+	})
+	return out
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+
+	"expfinder/internal/trace"
+)
+
+// querySpan builds an engine.query span the way the engine emits one:
+// key attrs on the span, stage counters on named children.
+func querySpan(graphName, plan, shape string, durUS, matches int64, children ...*trace.SpanJSON) *trace.SpanJSON {
+	return &trace.SpanJSON{
+		Name:       "engine.query",
+		DurationUS: durUS,
+		Attrs: map[string]any{
+			"graph":   graphName,
+			"plan":    plan,
+			"shape":   shape,
+			"matches": matches,
+		},
+		Children: children,
+	}
+}
+
+func traceOf(spans ...*trace.SpanJSON) *trace.TraceJSON {
+	return &trace.TraceJSON{
+		Name: "http.request",
+		Root: &trace.SpanJSON{Name: "http.request", Children: spans},
+	}
+}
+
+func TestRecorderAggregates(t *testing.T) {
+	r := NewRecorder(0)
+	// Two queries in the same bucket (one batch trace carrying both),
+	// with a cache miss then a hit, plus indexed-plan counters.
+	r.Observe(traceOf(
+		querySpan("g1", "indexed", "n2e1b3", 100, 5,
+			&trace.SpanJSON{Name: "cache.lookup", Attrs: map[string]any{"hit": false}},
+			&trace.SpanJSON{Name: "eval.indexed", Attrs: map[string]any{
+				"probes": int64(10), "proved": int64(7), "refuted": int64(2), "fallbacks": int64(1),
+			}},
+		),
+		querySpan("g1", "indexed", "n2e1b3", 300, 5,
+			&trace.SpanJSON{Name: "cache.lookup", Attrs: map[string]any{"hit": true}},
+		),
+	))
+	// A partitioned-plan query in a second bucket, with float64 attrs
+	// as a JSON round-trip would produce.
+	part := querySpan("g1", "partitioned", "n3e2b*", 900, 12,
+		&trace.SpanJSON{Name: "eval.partitioned", Attrs: map[string]any{
+			"removals": float64(4), "supersteps": float64(3),
+		}},
+	)
+	part.Attrs["matches"] = float64(12)
+	r.Observe(traceOf(part))
+
+	sums := r.Summaries()
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries, want 2", len(sums))
+	}
+	// Busiest first: the indexed bucket saw two queries.
+	idx := sums[0]
+	if idx.Plan != "indexed" || idx.Shape != "n2e1b3" || idx.Count != 2 {
+		t.Fatalf("busiest bucket = %+v", idx)
+	}
+	if idx.Matches != 10 || idx.CacheHits != 1 || idx.CacheMisses != 1 {
+		t.Fatalf("indexed counters = %+v", idx)
+	}
+	if idx.Probes != 10 || idx.Proved != 7 || idx.Refuted != 2 || idx.Fallbacks != 1 {
+		t.Fatalf("oracle counters = %+v", idx)
+	}
+	if idx.MeanUS != 200 || idx.P50US != 100 || idx.P95US != 300 || idx.Samples != 2 {
+		t.Fatalf("durations = %+v", idx)
+	}
+	prt := sums[1]
+	if prt.Plan != "partitioned" || prt.Count != 1 || prt.Matches != 12 {
+		t.Fatalf("partitioned bucket = %+v", prt)
+	}
+	if prt.Removals != 4 || prt.Supersteps != 3 {
+		t.Fatalf("bsp counters = %+v", prt)
+	}
+
+	totals := r.PlanTotals()
+	if len(totals) != 2 {
+		t.Fatalf("got %d plan totals, want 2", len(totals))
+	}
+	if totals[0].Plan != "indexed" || totals[0].Count != 2 || totals[0].P95US != 300 {
+		t.Fatalf("plan total = %+v", totals[0])
+	}
+}
+
+func TestRecorderKeyBound(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Observe(traceOf(querySpan("g", fmt.Sprintf("plan-%d", i), "n1e0b*", 10, 1)))
+	}
+	if got := len(r.Summaries()); got != 2 {
+		t.Fatalf("bucket count = %d, want 2", got)
+	}
+	if got := r.Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	// Established buckets still aggregate after the cap is hit.
+	r.Observe(traceOf(querySpan("g", "plan-0", "n1e0b*", 10, 1)))
+	if got := r.Summaries()[0].Count; got != 2 {
+		t.Fatalf("capped bucket count = %d, want 2", got)
+	}
+}
+
+func TestRecorderIgnoresNonQuerySpans(t *testing.T) {
+	r := NewRecorder(0)
+	r.Observe(nil)
+	r.Observe(traceOf(&trace.SpanJSON{Name: "engine.update", Attrs: map[string]any{"graph": "g"}}))
+	if len(r.Summaries()) != 0 || r.Dropped() != 0 {
+		t.Fatal("non-query spans recorded")
+	}
+	var nilRec *Recorder
+	nilRec.Observe(traceOf(querySpan("g", "p", "s", 1, 1)))
+	if nilRec.Summaries() != nil || nilRec.Dropped() != 0 || nilRec.PlanTotals() != nil {
+		t.Fatal("nil recorder not inert")
+	}
+}

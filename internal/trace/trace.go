@@ -270,9 +270,13 @@ func (tj *TraceJSON) Find(name string) *SpanJSON {
 // request happened to be traced; the log itself does not depend on
 // sampling — every request over the threshold is recorded.
 type SlowEntry struct {
-	ID         string     `json:"id"`
-	Route      string     `json:"route"`
-	Status     int        `json:"status"`
+	ID     string `json:"id"`
+	Route  string `json:"route"`
+	Status int    `json:"status"`
+	// Client identifies who sent the slow request (the serving tier's
+	// client key: X-Client-ID when present, else the remote host), so a
+	// slow-query investigation can go straight from log line to caller.
+	Client     string     `json:"client,omitempty"`
 	Time       time.Time  `json:"time"`
 	DurationUS int64      `json:"duration_us"`
 	Trace      *TraceJSON `json:"trace,omitempty"`
@@ -375,19 +379,20 @@ func (t *Tracer) Finish(tr *Trace) *TraceJSON {
 
 // NoteSlow records a request in the slow-query log when it crossed
 // the threshold, regardless of whether it was traced; tj may be nil.
-// Returns true when the entry was recorded (the caller may want to
-// log alongside). A zero threshold disables the log.
-func (t *Tracer) NoteSlow(id, route string, status int, d time.Duration, tj *TraceJSON) bool {
+// client is the serving tier's client identity for the request ("" when
+// unknown). Returns true when the entry was recorded (the caller may
+// want to log alongside). A zero threshold disables the log.
+func (t *Tracer) NoteSlow(id, route, client string, status int, d time.Duration, tj *TraceJSON) bool {
 	if t == nil || t.opts.SlowThreshold <= 0 || d < t.opts.SlowThreshold {
 		return false
 	}
-	e := &SlowEntry{ID: id, Route: route, Status: status, Time: time.Now(), DurationUS: d.Microseconds(), Trace: tj}
+	e := &SlowEntry{ID: id, Route: route, Status: status, Client: client, Time: time.Now(), DurationUS: d.Microseconds(), Trace: tj}
 	t.mu.Lock()
 	t.slow.push(e)
 	t.mu.Unlock()
 	if t.opts.Logger != nil {
-		t.opts.Logger.Printf("slow_query request_id=%s route=%s status=%d duration=%s threshold=%s traced=%t",
-			id, route, status, d.Round(time.Microsecond), t.opts.SlowThreshold, tj != nil)
+		t.opts.Logger.Printf("slow_query request_id=%s route=%s client=%s status=%d duration=%s threshold=%s traced=%t",
+			id, route, client, status, d.Round(time.Microsecond), t.opts.SlowThreshold, tj != nil)
 	}
 	return true
 }

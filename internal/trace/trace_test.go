@@ -94,7 +94,7 @@ func TestNilTracerIsNoOp(t *testing.T) {
 	if tr.Recent() != nil || tr.Slow() != nil {
 		t.Fatal("nil tracer rings must be empty")
 	}
-	tr.NoteSlow("id", "r", 200, time.Hour, nil)
+	tr.NoteSlow("id", "r", "client-a", 200, time.Hour, nil)
 	_ = ctx
 }
 
@@ -155,10 +155,10 @@ func TestRecentRingBounds(t *testing.T) {
 
 func TestSlowLogThreshold(t *testing.T) {
 	tr := New(Options{SlowThreshold: 10 * time.Millisecond})
-	if tr.NoteSlow("fast", "query", 200, 5*time.Millisecond, nil) {
+	if tr.NoteSlow("fast", "query", "c1", 200, 5*time.Millisecond, nil) {
 		t.Fatal("below-threshold request must not be recorded")
 	}
-	if !tr.NoteSlow("slow", "query", 200, 20*time.Millisecond, nil) {
+	if !tr.NoteSlow("slow", "query", "c1", 200, 20*time.Millisecond, nil) {
 		t.Fatal("over-threshold request must be recorded")
 	}
 	entries := tr.Slow()
@@ -167,7 +167,7 @@ func TestSlowLogThreshold(t *testing.T) {
 	}
 	// Threshold 0 disables the log entirely.
 	off := New(Options{})
-	if off.NoteSlow("x", "query", 200, time.Hour, nil) {
+	if off.NoteSlow("x", "query", "", 200, time.Hour, nil) {
 		t.Fatal("zero threshold must disable the slow log")
 	}
 }

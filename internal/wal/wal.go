@@ -157,6 +157,7 @@ const (
 	segPrefix        = "wal-"
 	segSuffix        = ".seg"
 	indexMetaFile    = "index.json"
+	statsMetaFile    = "stats.json"
 )
 
 // Observer receives the manager's record stream as it lands on disk —
@@ -571,6 +572,21 @@ func (m *Manager) SetIndexMeta(name string, meta *IndexMeta) error {
 	return writeIndexMeta(gl.dir, meta)
 }
 
+// SetStatsSnapshot persists (or, with nil, clears) the graph's
+// statistics snapshot — an opaque JSON document owned by
+// internal/stats. Like index metadata it lives beside the WAL files
+// and survives checkpoints; recovery hands it back verbatim and the
+// engine decides whether it still matches the recovered graph.
+func (m *Manager) SetStatsSnapshot(name string, data []byte) error {
+	gl, err := m.lookup(name)
+	if err != nil {
+		return err
+	}
+	gl.mu.Lock()
+	defer gl.mu.Unlock()
+	return writeStatsMeta(gl.dir, data)
+}
+
 // Flush pushes buffered bytes to the OS and syncs every dirty log.
 func (m *Manager) Flush() error {
 	m.mu.Lock()
@@ -629,6 +645,7 @@ type GraphStats struct {
 	LastVersion          uint64 `json:"last_version"`
 	Records              uint64 `json:"records"`
 	HasIndexMeta         bool   `json:"has_index_meta"`
+	HasStatsMeta         bool   `json:"has_stats_meta"`
 }
 
 // Stats aggregates the manager's counters and per-graph state, sorted by
@@ -920,6 +937,9 @@ func (gl *graphLog) stats() GraphStats {
 			}
 			if e.Name() == indexMetaFile {
 				st.HasIndexMeta = true
+			}
+			if e.Name() == statsMetaFile {
+				st.HasStatsMeta = true
 			}
 		}
 	}
