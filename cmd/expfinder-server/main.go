@@ -10,6 +10,8 @@
 //	                 [-auth-token TOKEN] [-rate-limit N] [-rate-burst N]
 //	                 [-max-inflight N] [-max-queue N] [-request-timeout D]
 //	                 [-cache-bytes N] [-trace-sample F] [-slow-query D] [-debug]
+//	                 [-log-format text|json] [-accounting] [-account-clients N]
+//	                 [-slo-targets query=500ms,read=100ms] [-shed-heaviest]
 //
 // With -data-dir set, every graph mutation is durable: mutations append
 // to a per-graph write-ahead log under DIR, a background checkpointer
@@ -44,7 +46,21 @@
 // into a bounded ring served at GET /api/v1/debug/traces, -slow-query D
 // logs and retains requests over the threshold (GET /api/v1/debug/slow),
 // and -debug mounts the Go pprof handlers under /debug/pprof/ (behind
-// the bearer token when one is configured).
+// the bearer token when one is configured). Both debug rings accept
+// ?plan=, ?route=, and ?min_ms= filters.
+//
+// Accounting (on by default, -accounting=false to disable): every
+// finished request is charged to its client (the X-Client-ID header,
+// else the remote host — the same key the rate limiter uses) and served
+// back at GET /api/v1/stats/clients; per-route-class SLO attainment
+// with burn rates is at GET /api/v1/slo (-slo-targets overrides the p99
+// targets, e.g. "query=250ms,mutation=100ms"); component health
+// (replication lag, checkpoint age, WAL growth, admission queue,
+// subscription backlog) rolls up into /healthz as ok|degraded|unhealthy
+// with per-component reasons. -shed-heaviest lets admission control
+// shed the heaviest client first under queue pressure. All log output —
+// access log, slow_query lines, boot and replication notices — is
+// structured; -log-format json renders one JSON object per line.
 //
 // API overview (current surface, mounted at /api/v1; the legacy /api/*
 // paths serve the same handlers and answer with a Deprecation header):
@@ -77,13 +93,15 @@
 //	GET    /api/v1/subscriptions/stats         subscription-hub counters
 //	GET    /api/v1/cache/stats                 result-cache counters (byte-budgeted LRU)
 //	GET    /api/v1/stats/queries               plan-outcome telemetry (per graph/plan/shape, p50/p95)
+//	GET    /api/v1/stats/clients               per-client resource accounting (?window=1m|5m|1h|total)
+//	GET    /api/v1/slo                         per-route-class SLO attainment + burn rates
 //	GET    /api/v1/admin/persistence           durability stats (WAL sizes, snapshots)
 //	POST   /api/v1/admin/persistence/checkpoint  force a checkpoint ({"graph": ...} or all)
 //	POST   /api/v1/admin/promote               follower failover: detach and accept writes
 //	GET    /api/v1/debug/traces                recent traced requests (span trees)
 //	GET    /api/v1/debug/slow                  slow-query log (over -slow-query)
 //	GET    /api/v1/debug/replication           replication role, lag, peers, counters
-//	GET    /healthz                            readiness + boot recovery summary (no auth)
+//	GET    /healthz                            component-health rollup (ok|degraded|unhealthy) + recovery (no auth)
 //	GET    /metrics                            Prometheus-style metrics (no auth)
 package main
 
@@ -92,22 +110,44 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"expfinder"
 	"expfinder/internal/dataset"
 	"expfinder/internal/engine"
+	"expfinder/internal/logx"
 	"expfinder/internal/replication"
 	"expfinder/internal/server"
 	"expfinder/internal/wal"
 )
+
+// parseSLOTargets parses the -slo-targets flag: a comma-separated list
+// of class=duration entries, e.g. "query=250ms,mutation=100ms".
+func parseSLOTargets(s string) (map[string]time.Duration, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]time.Duration{}
+	for _, part := range strings.Split(s, ",") {
+		class, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || class == "" {
+			return nil, fmt.Errorf("invalid -slo-targets entry %q: want class=duration", part)
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return nil, fmt.Errorf("invalid -slo-targets duration %q: %v", val, err)
+		}
+		out[class] = d
+	}
+	return out, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -129,13 +169,35 @@ func main() {
 	debug := flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/ (bearer-authed when -auth-token is set)")
 	replListen := flag.String("replication-listen", "", "serve WAL-shipping replication to followers on this address (requires -data-dir)")
 	replFrom := flag.String("replicate-from", "", "run as a read-only follower of the leader at this replication address")
+	logFormat := flag.String("log-format", "text", "log output format: text | json (structured key=value either way)")
+	accounting := flag.Bool("accounting", true, "per-client resource accounting and SLO tracking")
+	accountClients := flag.Int("account-clients", 0, "max clients the ledger tracks individually before folding the rest into \"other\" (0 = default)")
+	sloTargetsFlag := flag.String("slo-targets", "", "override per-route-class p99 latency targets, e.g. query=250ms,mutation=100ms")
+	shedHeaviest := flag.Bool("shed-heaviest", false, "under admission-queue pressure, shed the dominant client's requests first")
 	flag.Parse()
 
+	format, err := logx.ParseFormat(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	logger := logx.New(os.Stderr, format)
+	// fatal is the boot-error exit: same structured stream as everything
+	// else, so a crash-looping node's last words are machine-readable too.
+	fatal := func(kv ...any) {
+		logger.Event("fatal", kv...)
+		os.Exit(1)
+	}
+
+	sloTargets, err := parseSLOTargets(*sloTargetsFlag)
+	if err != nil {
+		fatal("err", err)
+	}
 	if *replListen != "" && *replFrom != "" {
-		log.Fatal("-replication-listen and -replicate-from are mutually exclusive: a node is a leader or a follower, not both")
+		fatal("err", "-replication-listen and -replicate-from are mutually exclusive: a node is a leader or a follower, not both")
 	}
 	if *replListen != "" && *dataDir == "" {
-		log.Fatal("-replication-listen requires -data-dir: the write-ahead log is the replication stream")
+		fatal("err", "-replication-listen requires -data-dir: the write-ahead log is the replication stream")
 	}
 
 	opts := engine.Options{CacheSize: *cacheSize, CacheBytes: *cacheBytes, Parallelism: *parallelism}
@@ -143,11 +205,11 @@ func main() {
 	if *dataDir != "" {
 		policy, err := wal.ParseFsyncPolicy(*fsync)
 		if err != nil {
-			log.Fatal(err)
+			fatal("err", err)
 		}
 		walMgr, err = wal.Open(wal.Options{Dir: *dataDir, Fsync: policy})
 		if err != nil {
-			log.Fatalf("open data dir: %v", err)
+			fatal("op", "open data dir", "err", err)
 		}
 		opts.Persistence = walMgr
 	}
@@ -160,44 +222,40 @@ func main() {
 	if *replListen != "" {
 		ln, err := net.Listen("tcp", *replListen)
 		if err != nil {
-			log.Fatalf("replication listen: %v", err)
+			fatal("op", "replication listen", "err", err)
 		}
 		leader, err = replication.NewLeader(replication.LeaderOptions{
 			Engine:   eng,
 			WAL:      walMgr,
 			Listener: ln,
-			Logger:   log.Default(),
+			Logger:   logger.Std("replication"),
 		})
 		if err != nil {
-			log.Fatalf("start replication leader: %v", err)
+			fatal("op", "start replication leader", "err", err)
 		}
-		log.Printf("replication leader listening on %s", leader.Addr())
+		logger.Event("replication", "role", "leader", "listen", fmt.Sprint(leader.Addr()))
 	}
 
 	var recovery *engine.RecoverySummary
 	if opts.Persistence != nil {
 		sum, err := eng.Recover()
 		if err != nil {
-			log.Fatalf("recover: %v", err)
+			fatal("op", "recover", "err", err)
 		}
 		recovery = sum
 		for _, gr := range sum.Graphs {
 			if gr.Err != "" {
-				log.Printf("recover %q FAILED: %s (files left for inspection)", gr.Name, gr.Err)
+				logger.Event("recover_failed", "graph", gr.Name, "err", gr.Err,
+					"note", "files left for inspection")
 				continue
 			}
-			extra := ""
-			if gr.TornTail {
-				extra += ", torn tail dropped"
-			}
-			if gr.IndexRebuilt {
-				extra += ", index rebuilt"
-			}
+			kv := []any{"graph", gr.Name, "nodes", gr.Nodes, "edges", gr.Edges,
+				"version", gr.Version, "wal_records", gr.Records,
+				"torn_tail", gr.TornTail, "index_rebuilt", gr.IndexRebuilt}
 			if gr.IndexErr != "" {
-				extra += ", index rebuild failed: " + gr.IndexErr
+				kv = append(kv, "index_err", gr.IndexErr)
 			}
-			log.Printf("recovered %q (%d nodes, %d edges, version %d, %d wal records%s)",
-				gr.Name, gr.Nodes, gr.Edges, gr.Version, gr.Records, extra)
+			logger.Event("recovered", kv...)
 		}
 	}
 
@@ -211,7 +269,7 @@ func main() {
 		fopts := replication.FollowerOptions{
 			Engine: eng,
 			Leader: *replFrom,
-			Logger: log.Default(),
+			Logger: logger.Std("replication"),
 		}
 		if *dataDir != "" {
 			fopts.StateFile = filepath.Join(*dataDir, "replication-state.json")
@@ -219,11 +277,13 @@ func main() {
 		var err error
 		follower, err = replication.NewFollower(fopts)
 		if err != nil {
-			log.Fatalf("start replication follower: %v", err)
+			fatal("op", "start replication follower", "err", err)
 		}
-		log.Printf("replicating from leader %s (read-only until promoted)", *replFrom)
+		logger.Event("replication", "role", "follower", "leader", *replFrom,
+			"note", "read-only until promoted")
 		if *demo || *storeDir != "" {
-			log.Printf("follower mode: skipping -demo/-store preloads")
+			logger.Event("replication", "role", "follower",
+				"note", "skipping -demo/-store preloads")
 		}
 		*demo, *storeDir = false, ""
 	}
@@ -232,38 +292,42 @@ func main() {
 		g, _ := dataset.PaperGraph()
 		switch err := eng.AddGraph("paper", g); {
 		case err == nil:
-			log.Printf("loaded demo graph %q (%d nodes, %d edges)", "paper", g.NumNodes(), g.NumEdges())
+			logger.Event("preload", "graph", "paper", "source", "demo",
+				"nodes", g.NumNodes(), "edges", g.NumEdges())
 		case errors.Is(err, engine.ErrGraphExists):
-			log.Printf("demo graph %q already present (recovered)", "paper")
+			logger.Event("preload", "graph", "paper", "source", "demo",
+				"note", "already present (recovered)")
 		case errors.Is(err, wal.ErrExists):
 			// Recovery failed for this name and left its files on disk; a
 			// fatal exit here would turn one damaged graph into a boot
 			// loop. Serve without the demo graph instead.
-			log.Printf("demo graph %q skipped: unrecovered persisted state on disk (%v)", "paper", err)
+			logger.Event("preload_skipped", "graph", "paper", "source", "demo",
+				"err", err, "note", "unrecovered persisted state on disk")
 		default:
-			log.Fatalf("preload demo graph: %v", err)
+			fatal("op", "preload demo graph", "err", err)
 		}
 	}
 	if *storeDir != "" {
 		store, err := expfinder.OpenStore(*storeDir)
 		if err != nil {
-			log.Fatalf("open store: %v", err)
+			fatal("op", "open store", "err", err)
 		}
 		names, err := store.ListGraphs()
 		if err != nil {
-			log.Fatalf("list store: %v", err)
+			fatal("op", "list store", "err", err)
 		}
 		for _, name := range names {
 			g, err := store.LoadGraph(name)
 			if err != nil {
-				log.Printf("skip %q: %v", name, err)
+				logger.Event("preload_skipped", "graph", name, "source", "store", "err", err)
 				continue
 			}
 			if err := eng.AddGraph(name, g); err != nil {
-				log.Printf("skip %q: %v", name, err)
+				logger.Event("preload_skipped", "graph", name, "source", "store", "err", err)
 				continue
 			}
-			log.Printf("loaded %q (%d nodes, %d edges)", name, g.NumNodes(), g.NumEdges())
+			logger.Event("preload", "graph", name, "source", "store",
+				"nodes", g.NumNodes(), "edges", g.NumEdges())
 		}
 	}
 
@@ -277,7 +341,12 @@ func main() {
 		TraceSample:    *traceSample,
 		SlowQuery:      *slowQuery,
 		Debug:          *debug,
-		Logger:         log.Default(),
+		Logger:         logger,
+
+		DisableAccounting: !*accounting,
+		AccountClients:    *accountClients,
+		SLOTargets:        sloTargets,
+		ShedHeaviest:      *shedHeaviest,
 	})
 	// /healthz reports the boot recovery outcome; readiness is implied by
 	// serving at all (recovery completed above, before the listener).
@@ -312,7 +381,7 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("expfinder-server listening on %s (parallelism %d)", *addr, eng.Parallelism())
+		logger.Event("listening", "addr", *addr, "parallelism", eng.Parallelism())
 		errc <- srv.ListenAndServe()
 	}()
 	select {
@@ -323,11 +392,11 @@ func main() {
 		}
 	case <-ctx.Done():
 		stop()
-		log.Printf("shutting down: draining in-flight requests")
+		logger.Event("shutdown", "note", "draining in-flight requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			log.Printf("forced shutdown: %v", err)
+			logger.Event("shutdown", "note", "forced close", "err", err)
 			_ = srv.Close()
 		}
 	}
@@ -341,10 +410,10 @@ func main() {
 		_ = leader.Close()
 	}
 	if err := eng.Close(); err != nil {
-		log.Printf("persistence close: %v", err)
-		os.Exit(1)
+		fatal("op", "persistence close", "err", err)
 	}
 	if opts.Persistence != nil {
-		log.Printf("persistence flushed and closed (%s)", opts.Persistence.Dir())
+		logger.Event("shutdown", "note", "persistence flushed and closed",
+			"dir", opts.Persistence.Dir())
 	}
 }

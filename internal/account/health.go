@@ -1,0 +1,139 @@
+package account
+
+// Component health rollup: named probes report their component's state
+// and the registry folds them into one process verdict — the worst
+// component wins. /healthz serves the verdict plus the per-component
+// checks so "degraded" always names its reason.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// HealthStatus is one component's (or the process's) state. The
+// ordering is severity: rollup takes the max.
+type HealthStatus int
+
+const (
+	// StatusOK means operating within thresholds.
+	StatusOK HealthStatus = iota
+	// StatusDegraded means serving, but a threshold is breached —
+	// lagging replication, a swollen admission queue — and operators
+	// should look before it becomes an outage.
+	StatusDegraded
+	// StatusUnhealthy means the component cannot do its job (broken
+	// WAL, fsync failures, a full admission queue).
+	StatusUnhealthy
+)
+
+// String renders the status the way /healthz spells it.
+func (s HealthStatus) String() string {
+	switch s {
+	case StatusDegraded:
+		return "degraded"
+	case StatusUnhealthy:
+		return "unhealthy"
+	default:
+		return "ok"
+	}
+}
+
+// MarshalJSON renders the status as its string form.
+func (s HealthStatus) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON parses the string form, so API clients can decode
+// /healthz bodies back into typed checks.
+func (s *HealthStatus) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	switch str {
+	case "ok":
+		*s = StatusOK
+	case "degraded":
+		*s = StatusDegraded
+	case "unhealthy":
+		*s = StatusUnhealthy
+	default:
+		return fmt.Errorf("account: unknown health status %q", str)
+	}
+	return nil
+}
+
+// worse returns the more severe of two statuses.
+func worse(a, b HealthStatus) HealthStatus {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// HealthCheck is one component's evaluated state.
+type HealthCheck struct {
+	Component string       `json:"component"`
+	Status    HealthStatus `json:"status"`
+	// Detail is the human reason when not ok ("lag 1523 records over
+	// degraded threshold 1000"), empty when ok.
+	Detail string `json:"detail,omitempty"`
+}
+
+// HealthProbe evaluates one component. Probes run on every /healthz
+// request and metrics scrape, so they must be cheap — read a gauge,
+// compare a threshold.
+type HealthProbe func() (HealthStatus, string)
+
+// Health is the component registry. Registration happens at server
+// construction; evaluation is concurrent-safe. A nil *Health evaluates
+// to ok with no checks.
+type Health struct {
+	mu     sync.Mutex
+	order  []string
+	probes map[string]HealthProbe
+}
+
+// NewHealth returns an empty registry.
+func NewHealth() *Health {
+	return &Health{probes: map[string]HealthProbe{}}
+}
+
+// Register adds (or replaces) a component probe. Registration order is
+// the report order.
+func (h *Health) Register(component string, probe HealthProbe) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.probes[component]; !ok {
+		h.order = append(h.order, component)
+	}
+	h.probes[component] = probe
+}
+
+// Evaluate runs every probe and returns the rollup (worst component
+// wins) plus the per-component checks in registration order.
+func (h *Health) Evaluate() (HealthStatus, []HealthCheck) {
+	if h == nil {
+		return StatusOK, nil
+	}
+	h.mu.Lock()
+	order := append([]string(nil), h.order...)
+	probes := make(map[string]HealthProbe, len(h.probes))
+	for k, v := range h.probes {
+		probes[k] = v
+	}
+	h.mu.Unlock()
+
+	overall := StatusOK
+	checks := make([]HealthCheck, 0, len(order))
+	for _, name := range order {
+		st, detail := probes[name]()
+		overall = worse(overall, st)
+		checks = append(checks, HealthCheck{Component: name, Status: st, Detail: detail})
+	}
+	return overall, checks
+}

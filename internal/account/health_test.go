@@ -1,0 +1,80 @@
+package account
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestHealthRollupWorstWins(t *testing.T) {
+	h := NewHealth()
+	repl := StatusOK
+	queue := StatusOK
+	h.Register("replication", func() (HealthStatus, string) { return repl, "lagging" })
+	h.Register("admission_queue", func() (HealthStatus, string) { return queue, "full" })
+
+	// All ok.
+	st, checks := h.Evaluate()
+	if st != StatusOK || len(checks) != 2 {
+		t.Fatalf("all-ok: %v %+v", st, checks)
+	}
+
+	// Exactly one degraded component degrades the rollup — it must not
+	// jump to unhealthy.
+	repl = StatusDegraded
+	st, checks = h.Evaluate()
+	if st != StatusDegraded {
+		t.Fatalf("one degraded => degraded, got %v", st)
+	}
+	if checks[0].Component != "replication" || checks[0].Status != StatusDegraded || checks[0].Detail != "lagging" {
+		t.Fatalf("check: %+v", checks[0])
+	}
+	if checks[1].Status != StatusOK {
+		t.Fatalf("healthy component should stay ok: %+v", checks[1])
+	}
+
+	// Unhealthy anywhere dominates degraded elsewhere.
+	queue = StatusUnhealthy
+	if st, _ = h.Evaluate(); st != StatusUnhealthy {
+		t.Fatalf("unhealthy should win: %v", st)
+	}
+
+	// And recovery walks back down.
+	repl, queue = StatusOK, StatusDegraded
+	if st, _ = h.Evaluate(); st != StatusDegraded {
+		t.Fatalf("recovery: %v", st)
+	}
+	repl, queue = StatusOK, StatusOK
+	if st, _ = h.Evaluate(); st != StatusOK {
+		t.Fatalf("full recovery: %v", st)
+	}
+}
+
+func TestHealthStatusJSON(t *testing.T) {
+	b, err := json.Marshal(HealthCheck{Component: "wal_disk", Status: StatusDegraded, Detail: "big"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"component":"wal_disk","status":"degraded","detail":"big"}`
+	if string(b) != want {
+		t.Fatalf("got %s", b)
+	}
+}
+
+func TestHealthRegisterReplaces(t *testing.T) {
+	h := NewHealth()
+	h.Register("x", func() (HealthStatus, string) { return StatusUnhealthy, "v1" })
+	h.Register("x", func() (HealthStatus, string) { return StatusOK, "" })
+	st, checks := h.Evaluate()
+	if st != StatusOK || len(checks) != 1 {
+		t.Fatalf("replace: %v %+v", st, checks)
+	}
+}
+
+func TestNilHealthIsOK(t *testing.T) {
+	var h *Health
+	h.Register("x", nil)
+	st, checks := h.Evaluate()
+	if st != StatusOK || checks != nil {
+		t.Fatalf("nil health: %v %+v", st, checks)
+	}
+}

@@ -12,6 +12,7 @@ package api
 import (
 	"encoding/json"
 
+	"expfinder/internal/account"
 	"expfinder/internal/graph"
 	"expfinder/internal/stats"
 	"expfinder/internal/trace"
@@ -144,6 +145,23 @@ type BuildInfo struct {
 type QueryStatsResponse struct {
 	Summaries []stats.Summary `json:"summaries"`
 	Dropped   uint64          `json:"dropped"`
+}
+
+// ClientStatsResponse is the per-client resource accounting served by
+// GET /stats/clients: each client's bill over the requested window,
+// heaviest wall time first (clients beyond the tracked top-K fold into
+// the "other" bucket), plus the exact since-boot global totals.
+type ClientStatsResponse struct {
+	Window  string                `json:"window"`
+	Clients []account.ClientUsage `json:"clients"`
+	Totals  account.Usage         `json:"totals"`
+}
+
+// SLOResponse is the per-route-class objective report served by
+// GET /slo: availability and latency attainment with burn rates over
+// the 1m/5m/1h windows.
+type SLOResponse struct {
+	Classes []account.ClassReport `json:"classes"`
 }
 
 // DebugSlowResponse is the slow-query log served by GET /debug/slow,

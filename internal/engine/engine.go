@@ -541,6 +541,12 @@ func (e *Engine) queryLocked(ctx context.Context, graphName string, mg *managed,
 		sp.SetStr("source", string(source))
 		sp.SetStr("shape", patternShape(q))
 		sp.SetInt("matches", int64(rel.Size()))
+		if source != SourceCache {
+			// Bytes the engine had to materialize (a cache hit reports its
+			// size on the cache.lookup span instead) — the accounting
+			// ledger's served-vs-computed split reads both.
+			sp.SetInt("result_bytes", rel.ApproxBytes())
+		}
 		sp.SetInt("k", int64(k))
 		sp.End()
 	}

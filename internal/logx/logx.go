@@ -1,0 +1,183 @@
+// Package logx is the one structured logger of the serving tier. Every
+// operational line the server emits — the access log, the slow-query
+// log, boot-time recovery and replication notices — goes through a
+// *Logger so the whole process speaks one format, selectable at the
+// command line with -log-format text|json. Text mode renders
+// greppable key=value lines (the format the pre-existing ad-hoc logs
+// already used); json mode renders one JSON object per line with the
+// same keys, for log pipelines that want machine-parseable events
+// without a regex.
+//
+// The API is deliberately tiny: an event name plus alternating
+// key/value pairs. Values stay in their natural Go types; the logger
+// formats them per output mode (durations as strings, numbers as
+// numbers in JSON). A nil *Logger discards everything, so call sites
+// never branch on "is logging configured".
+package logx
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Format selects the output rendering.
+type Format int
+
+const (
+	// Text renders "event=<name> k=v k=v" lines via the standard log
+	// package (timestamp prefix included).
+	Text Format = iota
+	// JSON renders one {"ts":...,"event":...,...} object per line.
+	JSON
+)
+
+// ParseFormat maps a -log-format flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "text", "":
+		return Text, nil
+	case "json":
+		return JSON, nil
+	}
+	return Text, fmt.Errorf("logx: unknown log format %q (want text or json)", s)
+}
+
+// Logger emits structured events to one writer. Safe for concurrent
+// use; a nil *Logger is valid and silent.
+type Logger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	format Format
+	// now is the clock, swappable in tests.
+	now func() time.Time
+}
+
+// New returns a Logger writing to w in the given format.
+func New(w io.Writer, format Format) *Logger {
+	return &Logger{w: w, format: format, now: time.Now}
+}
+
+// Event emits one structured line: the event name plus alternating
+// key/value pairs. A trailing key without a value is rendered with the
+// value "(MISSING)" rather than dropped, so a miscounted call site is
+// visible in the output instead of silently losing its last field.
+func (l *Logger) Event(event string, kv ...any) {
+	if l == nil {
+		return
+	}
+	var b strings.Builder
+	if l.format == JSON {
+		b.WriteString(`{"ts":"`)
+		b.WriteString(l.now().UTC().Format(time.RFC3339Nano))
+		b.WriteString(`","event":`)
+		b.WriteString(strconv.Quote(event))
+		for i := 0; i < len(kv); i += 2 {
+			b.WriteByte(',')
+			b.WriteString(strconv.Quote(keyAt(kv, i)))
+			b.WriteByte(':')
+			b.WriteString(jsonValue(valueAt(kv, i)))
+		}
+		b.WriteString("}\n")
+	} else {
+		b.WriteString(l.now().Format("2006/01/02 15:04:05"))
+		b.WriteString(" event=")
+		b.WriteString(event)
+		for i := 0; i < len(kv); i += 2 {
+			b.WriteByte(' ')
+			b.WriteString(keyAt(kv, i))
+			b.WriteByte('=')
+			b.WriteString(textValue(valueAt(kv, i)))
+		}
+		b.WriteByte('\n')
+	}
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// Std returns a *log.Logger whose every Printf line is re-emitted as a
+// structured event with the given name and the line as its "msg" field
+// — the adapter for subsystems that only know how to take a standard
+// logger (the replication leader/follower internals).
+func (l *Logger) Std(event string) *log.Logger {
+	if l == nil {
+		return nil
+	}
+	return log.New(stdAdapter{l: l, event: event}, "", 0)
+}
+
+// stdAdapter turns each written line into an Event call.
+type stdAdapter struct {
+	l     *Logger
+	event string
+}
+
+func (a stdAdapter) Write(p []byte) (int, error) {
+	a.l.Event(a.event, "msg", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}
+
+func keyAt(kv []any, i int) string {
+	if s, ok := kv[i].(string); ok {
+		return s
+	}
+	return fmt.Sprint(kv[i])
+}
+
+func valueAt(kv []any, i int) any {
+	if i+1 < len(kv) {
+		return kv[i+1]
+	}
+	return "(MISSING)"
+}
+
+// textValue renders a value for key=value lines; strings containing
+// spaces or quotes are quoted so the line stays splittable on spaces.
+func textValue(v any) string {
+	switch t := v.(type) {
+	case string:
+		if strings.ContainsAny(t, " \t\"=") {
+			return strconv.Quote(t)
+		}
+		if t == "" {
+			return `""`
+		}
+		return t
+	case time.Duration:
+		return t.String()
+	case error:
+		return strconv.Quote(t.Error())
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// jsonValue renders a value as a JSON literal. Numbers and bools stay
+// typed; durations and everything else become strings.
+func jsonValue(v any) string {
+	switch t := v.(type) {
+	case string:
+		return strconv.Quote(t)
+	case bool:
+		return strconv.FormatBool(t)
+	case int:
+		return strconv.Itoa(t)
+	case int64:
+		return strconv.FormatInt(t, 10)
+	case uint64:
+		return strconv.FormatUint(t, 10)
+	case float64:
+		return strconv.FormatFloat(t, 'g', -1, 64)
+	case time.Duration:
+		return strconv.Quote(t.String())
+	case error:
+		return strconv.Quote(t.Error())
+	default:
+		return strconv.Quote(fmt.Sprint(v))
+	}
+}

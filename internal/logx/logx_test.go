@@ -1,0 +1,98 @@
+package logx
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixed() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+
+func newBuf(format Format) (*Logger, *strings.Builder) {
+	var b strings.Builder
+	l := New(&b, format)
+	l.now = fixed
+	return l, &b
+}
+
+func TestTextFormat(t *testing.T) {
+	l, b := newBuf(Text)
+	l.Event("request", "route", "query", "status", 200, "latency", 1500*time.Microsecond, "msg", "two words")
+	got := b.String()
+	want := `2026/08/08 12:00:00 event=request route=query status=200 latency=1.5ms msg="two words"` + "\n"
+	if got != want {
+		t.Fatalf("got  %q\nwant %q", got, want)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	l, b := newBuf(JSON)
+	l.Event("request", "route", "query", "status", 200, "ok", true, "share", 0.5,
+		"latency", 2*time.Millisecond, "err", errors.New("boom"))
+	var m map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &m); err != nil {
+		t.Fatalf("invalid JSON %q: %v", b.String(), err)
+	}
+	if m["event"] != "request" || m["route"] != "query" {
+		t.Fatalf("fields: %+v", m)
+	}
+	if m["status"] != float64(200) || m["ok"] != true || m["share"] != 0.5 {
+		t.Fatalf("typed fields: %+v", m)
+	}
+	if m["latency"] != "2ms" || m["err"] != "boom" {
+		t.Fatalf("stringized fields: %+v", m)
+	}
+	if _, ok := m["ts"].(string); !ok {
+		t.Fatalf("ts missing: %+v", m)
+	}
+	// Key order is call order (event first after ts).
+	if !strings.HasPrefix(b.String(), `{"ts":"2026-08-08T12:00:00Z","event":"request","route":`) {
+		t.Fatalf("order: %q", b.String())
+	}
+}
+
+func TestOddKVRendersMissing(t *testing.T) {
+	l, b := newBuf(Text)
+	l.Event("e", "orphan")
+	if !strings.Contains(b.String(), "orphan=(MISSING)") {
+		t.Fatalf("got %q", b.String())
+	}
+}
+
+func TestNilLoggerIsSilent(t *testing.T) {
+	var l *Logger
+	l.Event("e", "k", "v") // must not panic
+	if l.Std("e") != nil {
+		t.Fatal("nil Std should be nil")
+	}
+}
+
+func TestStdAdapter(t *testing.T) {
+	l, b := newBuf(JSON)
+	std := l.Std("replication")
+	std.Printf("connected leader=%s", "host:9})0")
+	var m map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &m); err != nil {
+		t.Fatalf("invalid JSON %q: %v", b.String(), err)
+	}
+	if m["event"] != "replication" || m["msg"] != "connected leader=host:9})0" {
+		t.Fatalf("fields: %+v", m)
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	if f, err := ParseFormat("json"); err != nil || f != JSON {
+		t.Fatal("json")
+	}
+	if f, err := ParseFormat("text"); err != nil || f != Text {
+		t.Fatal("text")
+	}
+	if f, err := ParseFormat(""); err != nil || f != Text {
+		t.Fatal("empty defaults to text")
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -428,3 +428,18 @@ func (f *Follower) Status() Status {
 	}
 	return st
 }
+
+// Lag returns how far applied versions trail the leader's last
+// heartbeat, without the per-graph map snapshots Status builds.
+func (f *Follower) Lag() uint64 {
+	applied := f.opts.Engine.GraphVersions()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var lag uint64
+	for name, v := range f.leaderVersions {
+		if have := applied[name]; have < v {
+			lag += v - have
+		}
+	}
+	return lag
+}

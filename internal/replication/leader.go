@@ -569,6 +569,30 @@ func (l *Leader) Status() Status {
 	return st
 }
 
+// Lag returns the worst follower's summed ack gap without building the
+// full Status snapshot.
+func (l *Leader) Lag() uint64 {
+	versions := l.opts.Engine.GraphVersions()
+	l.mu.Lock()
+	fcs := l.followerList()
+	l.mu.Unlock()
+	var worst uint64
+	for _, fc := range fcs {
+		var lag uint64
+		fc.mu.Lock()
+		for name, cur := range versions {
+			if acked := fc.acked[name]; acked < cur {
+				lag += cur - acked
+			}
+		}
+		fc.mu.Unlock()
+		if lag > worst {
+			worst = lag
+		}
+	}
+	return worst
+}
+
 // --- followerConn ---
 
 func (fc *followerConn) setLive(name string) {

@@ -48,6 +48,10 @@ type FollowerInfo struct {
 // Leader and Follower implement it.
 type Source interface {
 	Status() Status
+	// Lag returns just the lag-records figure from Status, without the
+	// per-graph map snapshots — cheap enough for every metrics scrape
+	// and health probe.
+	Lag() uint64
 	// Promote turns a follower writable (clearing read-only mode and
 	// detaching from the leader); on a leader it fails.
 	Promote() error

@@ -3,12 +3,17 @@ package server
 // Health/readiness endpoint for load balancers and orchestrators. The
 // server is constructed after boot-time recovery completes, so /healthz
 // answering at all means the engine is serving; the body carries the
-// recovery outcome so an operator (or a rollout gate) can distinguish
-// "up" from "up, but graph X failed to recover".
+// component-health rollup (ok|degraded|unhealthy, worst component
+// wins, with per-component reasons) plus the recovery outcome, so an
+// operator or rollout gate can distinguish "up" from "up, but
+// replication is lagging" from "up, but the WAL is broken". Degraded
+// still answers 200 — the node serves, the operator should look;
+// unhealthy answers 503 so load balancers rotate the node out.
 
 import (
 	"net/http"
 
+	"expfinder/internal/account"
 	"expfinder/internal/api"
 	"expfinder/internal/engine"
 )
@@ -21,7 +26,11 @@ func (s *Server) SetRecoverySummary(sum *engine.RecoverySummary) { s.recovery = 
 
 // healthBody is the /healthz response.
 type healthBody struct {
-	Status string `json:"status"` // always "ok" when the handler answers
+	// Status is the component rollup: ok, degraded, or unhealthy.
+	Status string `json:"status"`
+	// Components carries every registered component's state; Detail
+	// names the breached threshold when a component is not ok.
+	Components []account.HealthCheck `json:"components"`
 	// Ready reports the server finished booting: recovery (if any) ran
 	// to completion before serving started.
 	Ready  bool `json:"ready"`
@@ -55,8 +64,10 @@ type healthReplication struct {
 }
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	rollup, checks := s.health.Evaluate()
 	body := healthBody{
-		Status:      "ok",
+		Status:      rollup.String(),
+		Components:  checks,
 		Ready:       true,
 		Graphs:      len(s.eng.ListGraphs()),
 		Build:       buildInfo(),
@@ -76,5 +87,9 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 			LagRecords: st.LagRecords,
 		}
 	}
-	writeJSON(w, http.StatusOK, body)
+	status := http.StatusOK
+	if rollup == account.StatusUnhealthy {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }

@@ -118,9 +118,10 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 			if route == "" {
 				route = "unmatched"
 			}
-			s.cfg.Logger.Printf(
-				"request_id=%s method=%s path=%s route=%s status=%d bytes=%d latency=%s",
-				id, r.Method, r.URL.Path, route, status, sw.bytes, time.Since(start).Round(time.Microsecond))
+			s.cfg.Logger.Event("request",
+				"request_id", id, "method", r.Method, "path", r.URL.Path,
+				"route", route, "status", status, "bytes", sw.bytes,
+				"latency", time.Since(start).Round(time.Microsecond))
 		}
 	})
 }
@@ -206,13 +207,14 @@ func newRateLimiter(rate float64, burst int) *rateLimiter {
 	return &rateLimiter{rate: rate, burst: b, buckets: map[string]*bucket{}}
 }
 
-// allow consumes a token for key; when denied it returns the seconds
-// until a token will be available.
-func (rl *rateLimiter) allow(key string, now time.Time) (bool, float64) {
+// allow consumes a token for key. It returns the whole tokens left
+// after the decision (the X-RateLimit-Remaining header) and, when
+// denied, the seconds until a token will be available.
+func (rl *rateLimiter) allow(key string, now time.Time) (ok bool, remaining int, wait float64) {
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
-	bk, ok := rl.buckets[key]
-	if !ok {
+	bk, found := rl.buckets[key]
+	if !found {
 		bk = &bucket{tokens: rl.burst, last: now}
 		rl.buckets[key] = bk
 	}
@@ -220,10 +222,10 @@ func (rl *rateLimiter) allow(key string, now time.Time) (bool, float64) {
 	bk.last = now
 	if bk.tokens >= 1 {
 		bk.tokens--
-		return true, 0
+		return true, int(bk.tokens), 0
 	}
 	rl.maybeSweep(now)
-	return false, (1 - bk.tokens) / rl.rate
+	return false, 0, (1 - bk.tokens) / rl.rate
 }
 
 // maybeSweep drops buckets idle long enough to have refilled to full —
@@ -254,12 +256,15 @@ func clientKey(r *http.Request) string {
 }
 
 // withRateLimit rejects over-budget clients with 429 + Retry-After.
+// Every rate-limited route answers with X-RateLimit-Remaining so a
+// well-behaved client can pace itself before hitting 429.
 func (s *Server) withRateLimit(next http.Handler) http.Handler {
 	if s.limiter == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ok, wait := s.limiter.allow(clientKey(r), time.Now())
+		ok, remaining, wait := s.limiter.allow(clientKey(r), time.Now())
+		w.Header().Set("X-RateLimit-Remaining", strconv.Itoa(remaining))
 		if !ok {
 			retry := int(math.Ceil(wait))
 			if retry < 1 {
@@ -340,15 +345,38 @@ func (s *Server) withAdmission(next http.Handler) http.Handler {
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
+		// Targeted shedding: once the queue is half full, the client
+		// burning the majority of the last minute's wall time is shed
+		// first — one heavy tenant should not queue everyone else out.
+		if s.cfg.ShedHeaviest && s.ledger != nil && s.admit.queued.Load()*2 >= s.admit.maxQueue {
+			if heavy, share := s.ledger.Heaviest(time.Minute); heavy != "" && share >= 0.5 && clientKey(r) == heavy {
+				s.mShed.Inc()
+				s.mShedHeavy.Inc()
+				s.shed(w, errShed, map[string]any{
+					"retry_after_seconds": 1,
+					"reason":              "heaviest_client",
+					"wall_share":          share,
+					"queue_depth":         s.admit.queued.Load(),
+					"max_queue":           s.admit.maxQueue,
+				})
+				return
+			}
+		}
 		_, spWait := trace.StartSpan(ctx, "admission.wait")
 		release, err := s.admit.acquire(ctx)
 		spWait.End()
 		if err != nil {
 			if errors.Is(err, errShed) {
-				w.Header().Set("Retry-After", "1")
 				s.mShed.Inc()
-				writeEnvelope(w, http.StatusServiceUnavailable, api.CodeOverloaded,
-					err.Error(), map[string]any{"retry_after_seconds": 1})
+				// The queue depth tells a shed client how far behind it is:
+				// depth/MaxInflight slot releases must happen first, so a
+				// deeper queue warrants a longer back-off than Retry-After's
+				// 1-second floor.
+				s.shed(w, err, map[string]any{
+					"retry_after_seconds": 1,
+					"queue_depth":         s.admit.queued.Load(),
+					"max_queue":           s.admit.maxQueue,
+				})
 				return
 			}
 			writeErr(w, statusFor(err), err)
@@ -357,4 +385,10 @@ func (s *Server) withAdmission(next http.Handler) http.Handler {
 		defer release()
 		next.ServeHTTP(w, r)
 	})
+}
+
+// shed renders the 503 overload envelope with Retry-After.
+func (s *Server) shed(w http.ResponseWriter, err error, details map[string]any) {
+	w.Header().Set("Retry-After", "1")
+	writeEnvelope(w, http.StatusServiceUnavailable, api.CodeOverloaded, err.Error(), details)
 }

@@ -125,14 +125,14 @@ func TestRateLimit(t *testing.T) {
 func TestRateLimiterRefill(t *testing.T) {
 	rl := newRateLimiter(10, 1)
 	now := time.Unix(0, 0)
-	if ok, _ := rl.allow("c", now); !ok {
+	if ok, _, _ := rl.allow("c", now); !ok {
 		t.Fatal("first request should pass")
 	}
-	if ok, wait := rl.allow("c", now); ok || wait <= 0 {
-		t.Fatalf("drained bucket passed (wait %v)", wait)
+	if ok, remaining, wait := rl.allow("c", now); ok || wait <= 0 || remaining != 0 {
+		t.Fatalf("drained bucket passed (remaining %d, wait %v)", remaining, wait)
 	}
 	// 100ms at 10 req/s refills exactly one token.
-	if ok, _ := rl.allow("c", now.Add(100*time.Millisecond)); !ok {
+	if ok, _, _ := rl.allow("c", now.Add(100*time.Millisecond)); !ok {
 		t.Fatal("bucket did not refill")
 	}
 }

@@ -55,6 +55,8 @@ func (s *Server) routes() []route {
 		{"GET", "/subscriptions/stats", "subscription_stats", true, s.subscriptionStats},
 		{"GET", "/cache/stats", "cache_stats", true, s.cacheStats},
 		{"GET", "/stats/queries", "query_stats", true, s.statsQueries},
+		{"GET", "/stats/clients", "client_stats", true, s.statsClients},
+		{"GET", "/slo", "slo_report", true, s.sloReport},
 		{"GET", "/admin/persistence", "persistence_stats", true, s.persistenceStats},
 		{"POST", "/admin/persistence/checkpoint", "force_checkpoint", true, s.forceCheckpoint},
 		// Promote must work while a degraded follower sheds load — that is

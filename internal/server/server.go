@@ -21,14 +21,15 @@
 package server
 
 import (
-	"log"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"time"
 
+	"expfinder/internal/account"
 	"expfinder/internal/api"
 	"expfinder/internal/engine"
+	"expfinder/internal/logx"
 	"expfinder/internal/metrics"
 	"expfinder/internal/replication"
 	"expfinder/internal/stats"
@@ -59,8 +60,10 @@ type Config struct {
 	// RequestTimeout is propagated as a context deadline into the engine
 	// on admission-controlled routes; 0 means no deadline.
 	RequestTimeout time.Duration
-	// Logger, when set, receives one structured line per request.
-	Logger *log.Logger
+	// Logger, when set, receives one structured event per request (the
+	// access log), plus slow_query events; text vs. JSON rendering is
+	// the logger's own -log-format concern.
+	Logger *logx.Logger
 	// TraceSample is the fraction of requests traced through the query
 	// engine (0 = none, 1 = all). Requests asking explicitly with
 	// ?trace=1 or X-Trace: 1 are always traced regardless of the rate.
@@ -73,6 +76,26 @@ type Config struct {
 	// admission control (profiling an overloaded server is the point)
 	// but behind bearer auth when AuthToken is set.
 	Debug bool
+	// DisableAccounting turns off the per-client resource ledger, the
+	// SLO tracker, and their endpoints/metrics. Accounting is on by
+	// default: it observes finished requests only, so results are
+	// byte-identical either way (enforced by benchrunner -exp a11).
+	DisableAccounting bool
+	// AccountClients bounds how many distinct clients the ledger tracks
+	// individually (the rest fold into an "other" bucket); 0 means 32.
+	AccountClients int
+	// SLOTargets overrides the per-route-class p99 latency targets
+	// (keys: query, mutation, read, stream, admin, debug). Classes not
+	// listed keep the defaults in defaultSLOTargets.
+	SLOTargets map[string]time.Duration
+	// Health tunes the component-health thresholds /healthz rolls up;
+	// zero fields take the defaults documented on HealthThresholds.
+	Health HealthThresholds
+	// ShedHeaviest lets admission control prefer the heaviest client:
+	// once the admission queue is at least half full, requests from a
+	// client consuming the majority of the last minute's wall time are
+	// shed immediately instead of queueing. Off by default.
+	ShedHeaviest bool
 }
 
 // Server wires an engine into an http.Handler.
@@ -92,10 +115,16 @@ type Server struct {
 	admit    *admission
 	tracer   *trace.Tracer
 	recorder *stats.Recorder
+	// ledger and slo are nil when Config.DisableAccounting is set; both
+	// are nil-safe, so charge sites never branch. health always exists.
+	ledger *account.Ledger
+	slo    *account.SLO
+	health *account.Health
 
 	mReqs        *metrics.Counter
 	mLatency     *metrics.Histogram
 	mShed        *metrics.Counter
+	mShedHeavy   *metrics.Counter
 	mRateLimited *metrics.Counter
 	mStage       *metrics.Histogram
 }
@@ -136,6 +165,8 @@ func New(eng *engine.Engine, cfg ...Config) *Server {
 		"HTTP request latency in seconds, by route.", nil, "route")
 	s.mShed = s.registry.NewCounter("expfinder_admission_shed_total",
 		"Requests shed by admission control with 503.")
+	s.mShedHeavy = s.registry.NewCounter("expfinder_admission_shed_heaviest_total",
+		"Requests shed specifically because their client was the window's heaviest.")
 	s.mRateLimited = s.registry.NewCounter("expfinder_rate_limited_total",
 		"Requests rejected by the per-client rate limiter with 429.")
 	s.registry.NewGaugeFunc("expfinder_admission_queue_depth",
@@ -187,7 +218,7 @@ func New(eng *engine.Engine, cfg ...Config) *Server {
 			if s.repl == nil {
 				return 0
 			}
-			return float64(s.repl.Status().LagRecords)
+			return float64(s.repl.Lag())
 		})
 	s.registry.NewGaugeFunc("expfinder_engine_queue_depth",
 		"Queries parked waiting for an engine execution token.", func() float64 {
@@ -208,6 +239,17 @@ func New(eng *engine.Engine, cfg ...Config) *Server {
 	s.recorder = stats.NewRecorder(0)
 	s.tracer.OnFinish(s.recorder.Observe)
 	s.registerStatsMetrics()
+
+	// Per-client accounting + SLO tracking. The charge site is the
+	// withTrace middleware — every request is charged regardless of
+	// sampling; trace-derived cost detail rides along when present.
+	if !c.DisableAccounting {
+		s.ledger = account.NewLedger(c.AccountClients)
+		s.slo = account.NewSLO(sloObjectives(c.SLOTargets))
+	}
+	s.health = account.NewHealth()
+	s.registerHealthComponents()
+	s.registerAccountMetrics()
 
 	mux := http.NewServeMux()
 	rts := s.routes()

@@ -10,9 +10,12 @@ package server
 // latency histograms on the metrics registry.
 
 import (
+	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
+	"expfinder/internal/account"
 	"expfinder/internal/api"
 	"expfinder/internal/trace"
 )
@@ -27,13 +30,18 @@ func traceRequested(r *http.Request) bool {
 // withTrace sits between the metrics and auth middlewares: spans cover
 // auth, rate limiting, admission waits, and the handler, while the
 // request id assigned by withObservability is already on the response
-// header. With tracing sampled out and no slow-query threshold the
-// request passes through untouched.
+// header. It is also the accounting charge site — the one place that
+// has the client key, final status, elapsed time, response bytes, and
+// the finished trace together — so every request is charged regardless
+// of sampling, with trace-derived cost detail riding along when the
+// request happened to be traced. With tracing sampled out, no
+// slow-query threshold, and accounting off, the request passes through
+// untouched.
 func (s *Server) withTrace(route string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ctx, trc := s.tracer.Start(r.Context(), w.Header().Get("X-Request-ID"),
 			route, traceRequested(r))
-		if trc == nil && s.tracer.SlowThreshold() <= 0 {
+		if trc == nil && s.tracer.SlowThreshold() <= 0 && s.ledger == nil {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -48,10 +56,21 @@ func (s *Server) withTrace(route string, next http.Handler) http.Handler {
 			tj = s.tracer.Finish(trc)
 		}
 		status := http.StatusOK
-		if sw, ok := w.(*statusWriter); ok && sw.status != 0 {
-			status = sw.status
+		var bytes int64
+		if sw, ok := w.(*statusWriter); ok {
+			if sw.status != 0 {
+				status = sw.status
+			}
+			bytes = sw.bytes
 		}
-		s.tracer.NoteSlow(w.Header().Get("X-Request-ID"), route, clientKey(r), status, elapsed, tj)
+		client := clientKey(r)
+		s.tracer.NoteSlow(w.Header().Get("X-Request-ID"), route, client, status, elapsed, tj)
+		if s.ledger != nil {
+			ch := account.Charge{Client: client, Route: route, Status: status, Wall: elapsed, BytesOut: bytes}
+			ch.AddTrace(tj)
+			s.ledger.Charge(ch)
+		}
+		s.slo.Observe(routeClass(route), status, elapsed)
 	})
 }
 
@@ -87,18 +106,82 @@ func (s *Server) aggregateTrace(tj *trace.TraceJSON) {
 	})
 }
 
+// planOf returns the trace's plan: the first engine.query span's plan
+// attribute, or "" for traces without one (mutations, admin routes).
+func planOf(tj *trace.TraceJSON) string {
+	plan := ""
+	tj.Walk(func(sp *trace.SpanJSON) {
+		if plan == "" && sp.Name == "engine.query" {
+			if p, ok := sp.Attrs["plan"].(string); ok {
+				plan = p
+			}
+		}
+	})
+	return plan
+}
+
+// ringFilter is the shared ?plan= / ?route= / ?min_ms= filter of the
+// debug rings, so the bounded rings are inspectable without client-side
+// grepping. Zero-valued filters match everything; a malformed min_ms
+// is reported rather than ignored.
+type ringFilter struct {
+	plan  string
+	route string
+	minUS int64
+}
+
+func parseRingFilter(r *http.Request) (ringFilter, error) {
+	q := r.URL.Query()
+	f := ringFilter{plan: q.Get("plan"), route: q.Get("route")}
+	if ms := q.Get("min_ms"); ms != "" {
+		v, err := strconv.ParseFloat(ms, 64)
+		if err != nil || v < 0 {
+			return f, fmt.Errorf("invalid min_ms %q: want a non-negative number of milliseconds", ms)
+		}
+		f.minUS = int64(v * 1000)
+	}
+	return f, nil
+}
+
+func (f ringFilter) matches(route string, durationUS int64, tj *trace.TraceJSON) bool {
+	if f.route != "" && route != f.route {
+		return false
+	}
+	if durationUS < f.minUS {
+		return false
+	}
+	if f.plan != "" && (tj == nil || planOf(tj) != f.plan) {
+		return false
+	}
+	return true
+}
+
 func (s *Server) debugTraces(w http.ResponseWriter, r *http.Request) {
-	traces := s.tracer.Recent()
-	if traces == nil {
-		traces = []*trace.TraceJSON{}
+	f, err := parseRingFilter(r)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, api.CodeInvalidRequest, err)
+		return
+	}
+	traces := []*trace.TraceJSON{}
+	for _, tj := range s.tracer.Recent() {
+		if f.matches(tj.Name, tj.DurationUS, tj) {
+			traces = append(traces, tj)
+		}
 	}
 	writeJSON(w, http.StatusOK, api.DebugTracesResponse{Traces: traces})
 }
 
 func (s *Server) debugSlow(w http.ResponseWriter, r *http.Request) {
-	entries := s.tracer.Slow()
-	if entries == nil {
-		entries = []*trace.SlowEntry{}
+	f, err := parseRingFilter(r)
+	if err != nil {
+		writeCode(w, http.StatusBadRequest, api.CodeInvalidRequest, err)
+		return
+	}
+	entries := []*trace.SlowEntry{}
+	for _, e := range s.tracer.Slow() {
+		if f.matches(e.Route, e.DurationUS, e.Trace) {
+			entries = append(entries, e)
+		}
 	}
 	writeJSON(w, http.StatusOK, api.DebugSlowResponse{
 		ThresholdUS: s.tracer.SlowThreshold().Microseconds(),

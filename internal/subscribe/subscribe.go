@@ -376,6 +376,9 @@ type Stats struct {
 	Recomputes    uint64 `json:"recomputes"` // lazy full recomputes after invalidation
 	Resyncs       uint64 `json:"resyncs"`    // overflow snapshots pushed
 	Coalesced     uint64 `json:"coalesced"`  // delta merges into unconsumed events
+	// Backlog is the total of buffered, undelivered events across live
+	// subscriptions — the health registry's slow-consumer signal.
+	Backlog int `json:"backlog"`
 }
 
 // Hub is the subscription registry: it owns every live Subscription and
@@ -606,15 +609,17 @@ func (h *Hub) Stats() Stats {
 		groups += len(byHash)
 	}
 	coalesced := h.coalesced // merges performed by since-removed subscriptions
+	backlog := 0
 	for _, s := range h.subs {
 		s.mu.Lock()
 		coalesced += s.coalesced
+		backlog += len(s.buf)
 		s.mu.Unlock()
 	}
 	return Stats{
 		Subscriptions: len(h.subs), Groups: groups,
 		Published: h.published, Recomputes: h.recomputes,
-		Resyncs: h.resyncs, Coalesced: coalesced,
+		Resyncs: h.resyncs, Coalesced: coalesced, Backlog: backlog,
 	}
 }
 

@@ -25,10 +25,11 @@ package trace
 
 import (
 	"context"
-	"log"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"expfinder/internal/logx"
 )
 
 // Attr is one key/value annotation on a span. Values are kept to
@@ -294,8 +295,9 @@ type Options struct {
 	// RingSize bounds the recent-trace and slow-query rings
 	// (default 64 each).
 	RingSize int
-	// Logger, when set, receives one structured line per slow query.
-	Logger *log.Logger
+	// Logger, when set, receives one structured slow_query event per
+	// slow query.
+	Logger *logx.Logger
 }
 
 // defaultRing is the ring capacity when Options.RingSize is 0.
@@ -390,10 +392,10 @@ func (t *Tracer) NoteSlow(id, route, client string, status int, d time.Duration,
 	t.mu.Lock()
 	t.slow.push(e)
 	t.mu.Unlock()
-	if t.opts.Logger != nil {
-		t.opts.Logger.Printf("slow_query request_id=%s route=%s client=%s status=%d duration=%s threshold=%s traced=%t",
-			id, route, client, status, d.Round(time.Microsecond), t.opts.SlowThreshold, tj != nil)
-	}
+	t.opts.Logger.Event("slow_query",
+		"request_id", id, "route", route, "client", client, "status", status,
+		"duration", d.Round(time.Microsecond), "threshold", t.opts.SlowThreshold,
+		"traced", tj != nil)
 	return true
 }
 
